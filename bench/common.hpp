@@ -1,0 +1,36 @@
+#pragma once
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure). Each harness prints the paper-style table to stdout and
+// writes a CSV next to the binary under experiment_results/ so the series
+// can be re-plotted.
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace edacloud::bench {
+
+/// --fast on the command line (or EDACLOUD_FAST=1) shrinks workloads for
+/// quick iteration; default reproduces the full experiment.
+inline bool fast_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--fast") return true;
+  }
+  const char* env = std::getenv("EDACLOUD_FAST");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void write_csv(const util::CsvWriter& csv, const std::string& name) {
+  std::filesystem::create_directories("experiment_results");
+  const std::string path = "experiment_results/" + name;
+  if (!csv.write(path)) {
+    EDACLOUD_WARN << "failed to write " << path;
+  } else {
+    EDACLOUD_INFO << "wrote " << path;
+  }
+}
+
+}  // namespace edacloud::bench

@@ -1,0 +1,135 @@
+// Fig. 5 — "Runtime prediction errors" (and the §IV accuracy numbers).
+// Builds the 330-netlist corpus (18 families x sizes x synthesis recipes),
+// labels every netlist with simulated runtimes at 1/2/4/8 vCPUs on each
+// job's recommended family, trains one GCN per application with a
+// design-level 80/20 split (test designs unseen), and reports the
+// relative-error histogram.
+// Shape targets: netlist-job (placement/routing/STA) average error in the
+// low tens of percent (paper: 13%); synthesis (AIG) error smaller
+// (paper: 5%); error mass concentrated near zero.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/dataset.hpp"
+#include "core/predictor.hpp"
+#include "ml/baseline.hpp"
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace edacloud;
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const auto library = nl::make_generic_14nm_library();
+
+  core::DatasetOptions dataset_options;
+  core::PredictorOptions predictor_options;
+  predictor_options.gcn = ml::GcnConfig::fast();
+  if (fast) {
+    dataset_options.max_netlists = 60;
+    dataset_options.max_recipes = 3;
+    predictor_options.gcn.epochs = 60;
+  }
+
+  std::printf("=== Fig. 5: GCN runtime-prediction errors (%s mode) ===\n",
+              fast ? "fast" : "full");
+
+  util::Timer timer;
+  core::DatasetBuilder builder(library, dataset_options);
+  auto specs = workloads::corpus_specs();
+  if (fast) {
+    std::vector<workloads::BenchmarkSpec> subset;
+    for (std::size_t i = 0; i < specs.size(); i += 2) {
+      subset.push_back(specs[i]);
+    }
+    specs = subset;
+  }
+  const core::Dataset dataset = builder.build(specs);
+  std::printf("corpus: %zu designs -> %zu unique netlists (%.0fs)\n",
+              dataset.design_count, dataset.netlist_count, timer.seconds());
+
+  timer.reset();
+  core::RuntimePredictor predictor(predictor_options);
+  const auto evaluations = predictor.train(dataset);
+  std::printf("training: 4 models in %.0fs (GCN %dx%d + FC %d, %d epochs)\n\n",
+              timer.seconds(), predictor_options.gcn.hidden1,
+              predictor_options.gcn.hidden2, predictor_options.gcn.fc,
+              predictor_options.gcn.epochs);
+
+  util::Table table({"Application", "Graph", "Train", "Test",
+                     "Avg rel. error", "Accuracy"});
+  util::CsvWriter csv({"job", "relative_error"});
+  double netlist_error_sum = 0.0;
+  int netlist_jobs = 0;
+  for (const auto& evaluation : evaluations) {
+    const bool is_synthesis = evaluation.job == core::JobKind::kSynthesis;
+    table.add_row(
+        {core::job_name(evaluation.job), is_synthesis ? "AIG" : "netlist",
+         std::to_string(evaluation.train_samples),
+         std::to_string(evaluation.test_samples),
+         util::format_percent(evaluation.mean_relative_error, 1),
+         util::format_percent(1.0 - evaluation.mean_relative_error, 1)});
+    for (double error : evaluation.relative_errors) {
+      csv.add_row({core::job_name(evaluation.job),
+                   util::format_fixed(error, 6)});
+    }
+    if (!is_synthesis) {
+      netlist_error_sum += evaluation.mean_relative_error;
+      ++netlist_jobs;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Analytic baseline (ridge regression on graph summaries): what the GCN
+  // must beat to justify itself.
+  util::Table baseline_table(
+      {"Application", "GCN error", "Ridge-baseline error"});
+  for (const auto& evaluation : evaluations) {
+    const auto& all =
+        dataset.samples[static_cast<int>(evaluation.job)];
+    std::vector<ml::GraphSample> train_set, test_set;
+    ml::split_by_family(all, 5, 3, train_set, test_set);
+    if (train_set.empty() || test_set.empty()) continue;
+    ml::TargetScaler scaler;
+    scaler.fit(train_set);
+    ml::RidgeBaseline ridge;
+    ridge.fit(train_set, scaler);
+    const auto ridge_eval = ridge.evaluate(test_set, scaler);
+    baseline_table.add_row(
+        {core::job_name(evaluation.job),
+         util::format_percent(evaluation.mean_relative_error, 1),
+         util::format_percent(ridge_eval.mean_relative_error, 1)});
+  }
+  std::printf("%s\n", baseline_table.render().c_str());
+
+  if (netlist_jobs > 0) {
+    std::printf("netlist-job average error: %s (paper: 13%%)\n",
+                util::format_percent(netlist_error_sum / netlist_jobs, 1)
+                    .c_str());
+  }
+  std::printf(
+      "synthesis (AIG) error: %s (paper: 5%%)\n\n",
+      util::format_percent(
+          evaluations[static_cast<int>(core::JobKind::kSynthesis)]
+              .mean_relative_error,
+          1)
+          .c_str());
+
+  // Error histogram for placement + routing, as in the paper's figure.
+  util::Histogram histogram(0.0, 1.0, 20);
+  for (core::JobKind job :
+       {core::JobKind::kPlacement, core::JobKind::kRouting}) {
+    for (double e :
+         evaluations[static_cast<int>(job)].relative_errors) {
+      histogram.add(e);
+    }
+  }
+  std::printf("Placement+routing relative-error histogram:\n%s\n",
+              histogram.render().c_str());
+
+  bench::write_csv(csv, "fig5_prediction_errors.csv");
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// AIG construction + rewriting, cut enumeration + mapping, CG placement
+// solve, A* maze routing, STA sweeps, cache/branch simulators, MCKP DP and
+// GCN forward pass. These quantify the substrate itself rather than a
+// paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include "cloud/mckp.hpp"
+#include "ml/gcn.hpp"
+#include "nl/star_graph.hpp"
+#include "perf/branch_sim.hpp"
+#include "perf/cache_sim.hpp"
+#include "perf/task_graph.hpp"
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "sta/sta.hpp"
+#include "synth/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+using namespace edacloud;
+
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+nl::Aig make_design(int scale) {
+  return workloads::gen_sparc_core(scale, 26);
+}
+
+void BM_AigGenerate(benchmark::State& state) {
+  const int scale = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto aig = make_design(scale);
+    benchmark::DoNotOptimize(aig.node_count());
+  }
+}
+BENCHMARK(BM_AigGenerate)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AigRewrite(benchmark::State& state) {
+  const auto aig = make_design(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto rewritten = synth::rewrite(aig);
+    benchmark::DoNotOptimize(rewritten.and_count());
+  }
+}
+BENCHMARK(BM_AigRewrite)->Arg(8)->Arg(16);
+
+void BM_TechMap(benchmark::State& state) {
+  const auto aig = make_design(static_cast<int>(state.range(0)));
+  const synth::TechMapper mapper(library());
+  for (auto _ : state) {
+    auto mapped = mapper.map(aig, synth::MapMode::kArea);
+    benchmark::DoNotOptimize(mapped.cell_count);
+  }
+}
+BENCHMARK(BM_TechMap)->Arg(8)->Arg(16);
+
+void BM_PlaceCg(benchmark::State& state) {
+  const auto aig = make_design(static_cast<int>(state.range(0)));
+  synth::SynthesisEngine engine(library());
+  const auto mapped = engine.synthesize(aig, synth::default_recipe());
+  place::QuadraticPlacer placer;
+  for (auto _ : state) {
+    auto result = placer.place(mapped.netlist);
+    benchmark::DoNotOptimize(result.x.size());
+  }
+}
+BENCHMARK(BM_PlaceCg)->Arg(8)->Arg(16);
+
+void BM_RouteMaze(benchmark::State& state) {
+  const auto aig = make_design(static_cast<int>(state.range(0)));
+  synth::SynthesisEngine engine(library());
+  const auto mapped = engine.synthesize(aig, synth::default_recipe());
+  place::QuadraticPlacer placer;
+  const auto placement = placer.place(mapped.netlist);
+  route::GridRouter router;
+  for (auto _ : state) {
+    auto result = router.run(mapped.netlist, placement, {});
+    benchmark::DoNotOptimize(result.wirelength_gedges);
+  }
+}
+BENCHMARK(BM_RouteMaze)->Arg(8)->Arg(16);
+
+void BM_StaSweep(benchmark::State& state) {
+  const auto aig = make_design(static_cast<int>(state.range(0)));
+  synth::SynthesisEngine engine(library());
+  const auto mapped = engine.synthesize(aig, synth::default_recipe());
+  place::QuadraticPlacer placer;
+  const auto placement = placer.place(mapped.netlist);
+  sta::StaEngine sta_engine;
+  for (auto _ : state) {
+    auto report = sta_engine.run(mapped.netlist, &placement, {});
+    benchmark::DoNotOptimize(report.critical_path_ps);
+  }
+}
+BENCHMARK(BM_StaSweep)->Arg(8)->Arg(16);
+
+void BM_CacheSim(benchmark::State& state) {
+  perf::CacheSim cache(96 * 1024, 64, 16);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> addresses(4096);
+  for (auto& a : addresses) a = rng.next_below(1 << 22);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addresses[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_CacheSim);
+
+void BM_BranchSim(benchmark::State& state) {
+  perf::BranchPredictor predictor;
+  util::Rng rng(2);
+  std::uint64_t site = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predictor.observe(site++ & 63, rng.next_bool(0.7)));
+  }
+}
+BENCHMARK(BM_BranchSim);
+
+void BM_ListScheduler(benchmark::State& state) {
+  perf::TaskGraph graph;
+  util::Rng rng(3);
+  std::vector<perf::TaskId> previous;
+  for (int wave = 0; wave < 64; ++wave) {
+    std::vector<perf::TaskId> current;
+    for (int t = 0; t < 32; ++t) {
+      std::vector<perf::TaskId> deps;
+      if (!previous.empty()) deps.push_back(previous[rng.next_below(previous.size())]);
+      current.push_back(graph.add_task(rng.next_double(1.0, 10.0), deps));
+    }
+    previous = current;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.makespan(8));
+  }
+}
+BENCHMARK(BM_ListScheduler);
+
+void BM_MckpDp(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<cloud::MckpStage> stages;
+  for (int l = 0; l < 4; ++l) {
+    cloud::MckpStage stage;
+    double time = rng.next_double(500.0, 8000.0);
+    double cost = rng.next_double(0.05, 0.5);
+    for (int j = 0; j < 4; ++j) {
+      stage.items.push_back({time, cost, ""});
+      time *= 0.6;
+      cost *= 1.3;
+    }
+    stages.push_back(stage);
+  }
+  const double deadline = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cloud::solve_mckp_dp(stages, deadline).total_cost_usd);
+  }
+}
+BENCHMARK(BM_MckpDp)->Arg(5000)->Arg(20000);
+
+void BM_GcnForward(benchmark::State& state) {
+  const auto aig = make_design(static_cast<int>(state.range(0)));
+  const auto graph = nl::graph_from_aig(aig);
+  ml::GraphSample sample;
+  sample.in_neighbors = nl::transpose(graph.forward);
+  sample.features = ml::Matrix(graph.node_count(), nl::kNodeFeatureDim);
+  std::copy(graph.features.begin(), graph.features.end(),
+            sample.features.data().begin());
+  ml::GcnModel model(ml::GcnConfig::fast());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(sample));
+  }
+}
+BENCHMARK(BM_GcnForward)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

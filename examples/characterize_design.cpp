@@ -1,0 +1,62 @@
+// Characterize a single design the way §III-A characterizes the SPARC
+// core: run the four EDA jobs under 1/2/4/8 vCPUs and print the simulated
+// hardware-counter readouts (branch misses, LLC misses, AVX share) plus
+// the speedup curves and the resulting instance-family recommendations.
+//
+// Usage: characterize_design [family] [size]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/characterize.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+using namespace edacloud;
+
+int main(int argc, char** argv) {
+  workloads::BenchmarkSpec spec;
+  spec.family = argc > 1 ? argv[1] : "mem_ctrl";
+  spec.size = argc > 2 ? std::atoi(argv[2]) : 6;
+  spec.seed = 17;
+
+  const nl::Aig design = workloads::generate(spec);
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  core::Characterizer characterizer(library);
+  const auto report = characterizer.characterize(design);
+
+  std::printf("%s: %zu mapped instances\n\n", report.design_name.c_str(),
+              report.instance_count);
+
+  for (const auto family : {perf::InstanceFamily::kGeneralPurpose,
+                            perf::InstanceFamily::kMemoryOptimized}) {
+    std::printf("== %s ==\n", std::string(perf::to_string(family)).c_str());
+    util::Table table({"Job", "vCPUs", "Runtime", "Speedup", "Branch miss",
+                       "LLC miss", "AVX share"});
+    for (core::JobKind job : core::kAllJobs) {
+      const auto* row = report.find(job, family);
+      if (row == nullptr) continue;
+      for (int i = 0; i < 4; ++i) {
+        table.add_row(
+            {i == 0 ? core::job_name(job) : "",
+             std::to_string(perf::kVcpuOptions[i]),
+             util::format_duration(row->runtime_seconds[i]),
+             util::format_fixed(row->speedup[i], 2),
+             util::format_percent(row->branch_miss_rate[i], 2),
+             util::format_percent(row->llc_miss_rate[i], 2),
+             util::format_percent(row->avx_fraction[i], 1)});
+      }
+      table.add_separator();
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  std::printf("recommended instances:\n");
+  for (core::JobKind job : core::kAllJobs) {
+    std::printf("  %-10s -> %s\n", core::job_name(job).c_str(),
+                std::string(perf::to_string(core::recommended_family(job)))
+                    .c_str());
+  }
+  return 0;
+}

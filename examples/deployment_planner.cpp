@@ -1,0 +1,95 @@
+// Deployment planner: the tool an EDA team would actually run before
+// kicking a flow off to the cloud. Give it a design and a tapeout-driven
+// deadline; it characterizes the flow, prices the options, and prints the
+// cost-minimal machine configuration per stage — or tells you the deadline
+// is not achievable and what the fastest possible turnaround is.
+//
+// Usage: deployment_planner [family] [size] [deadline_seconds]
+//   e.g. deployment_planner sparc_core 32 9000
+// Defaults: sparc_core 24, deadline = 1.4 x fastest.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/characterize.hpp"
+#include "core/optimizer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+using namespace edacloud;
+
+int main(int argc, char** argv) {
+  workloads::BenchmarkSpec spec;
+  spec.family = argc > 1 ? argv[1] : "sparc_core";
+  spec.size = argc > 2 ? std::atoi(argv[2]) : 24;
+  spec.seed = 11;
+  double deadline = argc > 3 ? std::atof(argv[3]) : 0.0;
+
+  nl::Aig design = [&] {
+    try {
+      return workloads::generate(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(2);
+    }
+  }();
+
+  std::printf("planning deployment for %s ...\n", design.name().c_str());
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  core::Characterizer characterizer(library);
+  const auto report = characterizer.characterize(design);
+
+  core::RuntimeLadders ladders{};
+  for (core::JobKind job : core::kAllJobs) {
+    const auto* row = report.find(job, core::recommended_family(job));
+    if (row != nullptr) ladders[static_cast<int>(job)] = row->runtime_seconds;
+  }
+
+  core::DeploymentOptimizer optimizer;
+  const auto stages = optimizer.build_stages(ladders);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const double slowest = cloud::fixed_choice(stages, 0).total_time_seconds;
+  if (deadline <= 0.0) deadline = fastest * 1.4;
+
+  std::printf("turnaround range: %s (all-8-vCPU) .. %s (all-1-vCPU)\n",
+              util::format_duration(fastest).c_str(),
+              util::format_duration(slowest).c_str());
+
+  const auto plan = optimizer.optimize(ladders, deadline);
+  if (!plan.feasible) {
+    std::printf(
+        "deadline %s is NOT achievable; fastest possible is %s.\n",
+        util::format_duration(deadline).c_str(),
+        util::format_duration(fastest).c_str());
+    return 1;
+  }
+
+  util::Table table({"Stage", "Instance", "vCPUs", "Runtime", "Cost ($)"});
+  for (const auto& entry : plan.entries) {
+    table.add_row({core::job_name(entry.job),
+                   std::string(perf::to_string(entry.family)),
+                   std::to_string(entry.vcpus),
+                   util::format_duration(entry.runtime_seconds),
+                   util::format_fixed(entry.cost_usd, 4)});
+  }
+  std::printf("\nplan for deadline %s:\n%s",
+              util::format_duration(deadline).c_str(),
+              table.render().c_str());
+  std::printf("total: %s, $%.4f\n",
+              util::format_duration(plan.total_runtime_seconds).c_str(),
+              plan.total_cost_usd);
+
+  const auto savings = optimizer.savings(ladders, deadline);
+  std::printf("over-provisioning would cost $%.4f (%s more)\n",
+              savings.over_provision_cost_usd,
+              util::format_percent(savings.saving_vs_over, 1).c_str());
+  if (savings.under_provision_time_seconds > deadline) {
+    std::printf("under-provisioning (all 1 vCPU) would miss the deadline by %s\n",
+                util::format_duration(savings.under_provision_time_seconds -
+                                      deadline)
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Design-space exploration — the workload the paper's introduction
+// motivates ("design space exploration in logic synthesis ... requires a
+// massive amount of compute"). Sweeps every synthesis recipe over a design,
+// reporting QoR (area / depth / timing) next to the predicted cloud runtime
+// and the cost of each exploration point, then totals what the whole sweep
+// would cost under the optimizer vs naive provisioning.
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "core/optimizer.hpp"
+#include "sta/sta.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+using namespace edacloud;
+
+int main(int argc, char** argv) {
+  workloads::BenchmarkSpec spec;
+  spec.family = argc > 1 ? argv[1] : "alu";
+  spec.size = argc > 2 ? std::atoi(argv[2]) : 24;
+  spec.seed = 5;
+  const nl::Aig design = workloads::generate(spec);
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+
+  std::printf("exploring %zu synthesis recipes on %s (%zu AIG nodes)\n\n",
+              synth::standard_recipes().size(), design.name().c_str(),
+              design.node_count());
+
+  util::Table table({"Recipe", "Cells", "Area (um2)", "Depth",
+                     "Crit. path (ps)", "Synth 1vCPU (s)", "Route 8vCPU (s)"});
+  core::DeploymentOptimizer optimizer;
+  double total_optimized = 0.0;
+  double total_over = 0.0;
+
+  for (const auto& recipe : synth::standard_recipes()) {
+    core::FlowOptions options;
+    options.recipe = recipe;
+    core::EdaFlow flow(library, options);
+
+    std::vector<perf::VmConfig> configs;
+    for (auto family : {perf::InstanceFamily::kGeneralPurpose,
+                        perf::InstanceFamily::kMemoryOptimized}) {
+      for (const auto& vm : perf::vm_ladder(family)) configs.push_back(vm);
+    }
+    const core::FlowResult result = flow.run(design, configs);
+    const auto stats = result.synthesis.mapped.netlist.stats();
+
+    // Runtime ladders on recommended families for this exploration point.
+    core::RuntimeLadders ladders{};
+    for (core::JobKind job : core::kAllJobs) {
+      const auto& m = result.measurement(job);
+      const auto family = core::recommended_family(job);
+      int cursor = 0;
+      for (std::size_t i = 0; i < m.configs.size(); ++i) {
+        if (m.configs[i].family != family || cursor >= 4) continue;
+        ladders[static_cast<int>(job)][cursor++] = m.runtime_seconds[i];
+      }
+    }
+
+    table.add_row(
+        {recipe.name, util::format_count(static_cast<long long>(
+                          stats.instance_count)),
+         util::format_fixed(stats.total_area_um2, 1),
+         std::to_string(stats.logic_depth),
+         util::format_fixed(result.timing.critical_path_ps, 0),
+         util::format_fixed(ladders[0][0], 0),
+         util::format_fixed(ladders[2][3], 0)});
+
+    // What this point costs with a relaxed deadline.
+    const auto stages = optimizer.build_stages(ladders);
+    const double deadline =
+        cloud::fastest_completion_seconds(stages) * 1.6;
+    const auto savings = optimizer.savings(ladders, deadline);
+    if (savings.feasible) {
+      total_optimized += savings.optimized_cost_usd;
+      total_over += savings.over_provision_cost_usd;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("whole sweep, optimized deployments: $%.4f\n", total_optimized);
+  std::printf("whole sweep, all-8-vCPU:           $%.4f (%s more)\n",
+              total_over,
+              util::format_percent(
+                  total_optimized > 0.0 ? total_over / total_optimized - 1.0
+                                        : 0.0,
+                  1)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,243 @@
+// edacloud — unified command-line front end over the library.
+//
+//   edacloud_cli gen   <family> <size> [--aag out.aag] [--dot out.dot]
+//   edacloud_cli synth <in.aag> [--recipe NAME] [--verilog out.v]
+//   edacloud_cli flow  <family> <size>            # run + QoR summary
+//   edacloud_cli plan  <family> <size> <deadline> [--spot]
+//   edacloud_cli lib   [--out lib.lib]            # dump the built-in library
+//
+// Every subcommand works on files in the formats the library speaks
+// (ASCII AIGER in, structural Verilog / Liberty / DOT out), so the tool
+// interoperates with standard logic-synthesis tooling.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "core/optimizer.hpp"
+#include "nl/aiger.hpp"
+#include "nl/dot.hpp"
+#include "nl/liberty.hpp"
+#include "nl/verilog.hpp"
+#include "sta/sta.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/registry.hpp"
+
+using namespace edacloud;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  edacloud_cli gen   <family> <size> [--aag F] [--dot F]\n"
+               "  edacloud_cli synth <in.aag> [--recipe NAME] [--verilog F]\n"
+               "  edacloud_cli flow  <family> <size>\n"
+               "  edacloud_cli plan  <family> <size> <deadline_s> [--spot]\n"
+               "  edacloud_cli lib   [--out F]\n"
+               "families:");
+  for (const auto& info : workloads::families()) {
+    std::fprintf(stderr, " %s", info.name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+std::string flag_value(const std::vector<std::string>& args,
+                       const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return "";
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const auto& arg : args) {
+    if (arg == flag) return true;
+  }
+  return false;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream file(path);
+  file << content;
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+nl::Aig generate_or_die(const std::string& family, int size) {
+  workloads::BenchmarkSpec spec;
+  spec.family = family;
+  spec.size = size;
+  spec.seed = 7;
+  return workloads::generate(spec);
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const nl::Aig aig = generate_or_die(args[0], std::atoi(args[1].c_str()));
+  std::printf("%s: %zu inputs, %zu outputs, %zu AND nodes, depth %u\n",
+              aig.name().c_str(), aig.input_count(), aig.output_count(),
+              aig.and_count(), aig.depth());
+  const std::string aag = flag_value(args, "--aag");
+  if (!aag.empty() && !write_file(aag, nl::write_aiger(aig))) return 1;
+  const std::string dot = flag_value(args, "--dot");
+  if (!dot.empty() && !write_file(dot, nl::write_dot(aig))) return 1;
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::ifstream in(args[0]);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", args[0].c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = nl::parse_aiger(buffer.str());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+
+  synth::SynthRecipe recipe = synth::default_recipe();
+  const std::string recipe_name = flag_value(args, "--recipe");
+  if (!recipe_name.empty()) {
+    bool found = false;
+    for (const auto& candidate : synth::standard_recipes()) {
+      if (candidate.name == recipe_name) {
+        recipe = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "error: unknown recipe '%s'\n",
+                   recipe_name.c_str());
+      return 1;
+    }
+  }
+
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  synth::SynthesisEngine engine(library);
+  const auto mapped = engine.synthesize(parsed.aig, recipe);
+  const auto stats = mapped.netlist.stats();
+  std::printf("recipe %s: %zu cells, %.1f um2, depth %u\n",
+              recipe.name.c_str(), stats.instance_count,
+              stats.total_area_um2, stats.logic_depth);
+
+  const std::string verilog = flag_value(args, "--verilog");
+  if (!verilog.empty() &&
+      !write_file(verilog, nl::write_verilog(mapped.netlist))) {
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_flow(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const nl::Aig aig = generate_or_die(args[0], std::atoi(args[1].c_str()));
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  core::EdaFlow flow(library);
+  const auto result = flow.run(aig, {});
+  const auto stats = result.synthesis.mapped.netlist.stats();
+
+  util::Table table({"Metric", "Value"});
+  table.add_row({"instances", util::format_count(static_cast<long long>(
+                                  stats.instance_count))});
+  table.add_row({"area (um2)", util::format_fixed(stats.total_area_um2, 1)});
+  table.add_row({"logic depth", std::to_string(stats.logic_depth)});
+  table.add_row(
+      {"HPWL (um)", util::format_fixed(result.placement.hpwl_um, 0)});
+  table.add_row({"routed wirelength (gcell edges)",
+                 util::format_count(static_cast<long long>(
+                     result.routing.wirelength_gedges))});
+  table.add_row({"routing overflow edges",
+                 std::to_string(result.routing.overflowed_edges)});
+  table.add_row({"critical path (ps)",
+                 util::format_fixed(result.timing.critical_path_ps, 0)});
+  table.add_row({"worst slack (ps)",
+                 util::format_fixed(result.timing.worst_slack_ps, 1)});
+  table.add_row({"leakage (uW)",
+                 util::format_fixed(result.timing.leakage_power_nw / 1e3, 2)});
+  table.add_row({"dynamic power (uW)",
+                 util::format_fixed(result.timing.dynamic_power_uw, 2)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_plan(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  const nl::Aig aig = generate_or_die(args[0], std::atoi(args[1].c_str()));
+  const double deadline = std::atof(args[2].c_str());
+
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  core::Characterizer characterizer(library);
+  const auto report = characterizer.characterize(aig);
+  core::RuntimeLadders ladders{};
+  for (core::JobKind job : core::kAllJobs) {
+    const auto* row = report.find(job, core::recommended_family(job));
+    if (row != nullptr) ladders[static_cast<int>(job)] = row->runtime_seconds;
+  }
+  core::DeploymentOptimizer optimizer;
+  if (has_flag(args, "--spot")) optimizer.enable_spot(cloud::SpotModel{});
+  const auto plan = optimizer.optimize(ladders, deadline);
+  if (!plan.feasible) {
+    const auto stages = optimizer.build_stages(ladders);
+    std::printf("NA — fastest possible is %.0f s\n",
+                cloud::fastest_completion_seconds(stages));
+    return 1;
+  }
+  util::Table table({"Stage", "Instance", "vCPUs", "Tier", "Runtime (s)",
+                     "Cost ($)"});
+  for (const auto& entry : plan.entries) {
+    table.add_row({core::job_name(entry.job),
+                   std::string(perf::to_string(entry.family)),
+                   std::to_string(entry.vcpus),
+                   entry.spot ? "spot" : "on-demand",
+                   util::format_fixed(entry.runtime_seconds, 0),
+                   util::format_fixed(entry.cost_usd, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("total %.0f s, $%.4f\n", plan.total_runtime_seconds,
+              plan.total_cost_usd);
+  return 0;
+}
+
+int cmd_lib(const std::vector<std::string>& args) {
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  const std::string text = nl::write_liberty(library);
+  const std::string out = flag_value(args, "--out");
+  if (!out.empty()) return write_file(out, text) ? 0 : 1;
+  std::printf("%s", text.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "synth") return cmd_synth(args);
+    if (command == "flow") return cmd_flow(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "lib") return cmd_lib(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,77 @@
+// Tapeout batch planner: several blocks must complete the full flow before
+// one shared deadline (the "meet the demands of their tapeout schedule"
+// scenario from the paper's introduction). Characterizes every block, then
+// jointly optimizes all (block, stage) machine choices with one MCKP.
+//
+// Usage: tapeout_batch [deadline_seconds]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/batch.hpp"
+#include "core/characterize.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+using namespace edacloud;
+
+int main(int argc, char** argv) {
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  core::Characterizer characterizer(library);
+
+  const std::vector<workloads::BenchmarkSpec> blocks = {
+      {"dynamic_node", 4, 21},
+      {"alu", 24, 22},
+      {"mem_ctrl", 6, 23},
+  };
+
+  std::vector<core::BatchDesign> designs;
+  for (const auto& spec : blocks) {
+    const nl::Aig aig = workloads::generate(spec);
+    std::printf("characterizing %s ...\n", aig.name().c_str());
+    const auto report = characterizer.characterize(aig);
+    core::BatchDesign design;
+    design.name = aig.name();
+    for (core::JobKind job : core::kAllJobs) {
+      const auto* row = report.find(job, core::recommended_family(job));
+      if (row != nullptr) {
+        design.ladders[static_cast<int>(job)] = row->runtime_seconds;
+      }
+    }
+    designs.push_back(std::move(design));
+  }
+
+  core::BatchPlanner planner;
+  const auto stages = planner.build_stages(designs);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const double deadline =
+      argc > 1 ? std::atof(argv[1]) : fastest * 1.35;
+
+  const auto plan = planner.plan(designs, deadline);
+  std::printf("\nbatch deadline %s (fastest possible %s)\n",
+              util::format_duration(deadline).c_str(),
+              util::format_duration(fastest).c_str());
+  if (!plan.feasible) {
+    std::printf("NOT achievable — relax the deadline.\n");
+    return 1;
+  }
+
+  util::Table table(
+      {"Block", "Stage", "vCPUs", "Runtime", "Cost ($)"});
+  for (const auto& entry : plan.entries) {
+    table.add_row({entry.design, core::job_name(entry.job),
+                   std::to_string(entry.vcpus),
+                   util::format_duration(entry.runtime_seconds),
+                   util::format_fixed(entry.cost_usd, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("batch total: %s, $%.4f\n",
+              util::format_duration(plan.total_runtime_seconds).c_str(),
+              plan.total_cost_usd);
+
+  const auto savings = planner.savings(designs, deadline);
+  std::printf("saving vs all-8-vCPU everywhere: %s\n",
+              util::format_percent(savings.saving_vs_over, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,244 @@
+#include "cloud/mckp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace edacloud::cloud {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+long long rounded_seconds(double seconds) {
+  return std::max<long long>(0, std::llround(seconds));
+}
+
+/// Stage item value under the chosen objective (DP maximizes value with
+/// min-cost mapped to maximizing -cost).
+double item_value(const MckpItem& item, Objective objective) {
+  switch (objective) {
+    case Objective::kMinTotalCost:
+      return -item.cost_usd;
+    case Objective::kMaxInverseCost:
+      // Zero-cost items would be infinitely attractive; clamp to a large
+      // finite value so sums stay well-defined.
+      return item.cost_usd > 0.0 ? 1.0 / item.cost_usd : 1e18;
+  }
+  return 0.0;
+}
+
+MckpSelection finalize(const std::vector<MckpStage>& stages,
+                       std::vector<int> choice, Objective objective) {
+  MckpSelection selection;
+  selection.feasible = true;
+  selection.choice = std::move(choice);
+  for (std::size_t l = 0; l < stages.size(); ++l) {
+    const MckpItem& item =
+        stages[l].items[static_cast<std::size_t>(selection.choice[l])];
+    selection.total_time_seconds += item.time_seconds;
+    selection.total_cost_usd += item.cost_usd;
+    selection.objective_value += item_value(item, objective);
+  }
+  return selection;
+}
+
+}  // namespace
+
+MckpSelection solve_mckp_dp(const std::vector<MckpStage>& stages,
+                            double deadline_seconds, Objective objective) {
+  MckpSelection infeasible;
+  if (stages.empty()) {
+    infeasible.feasible = true;
+    return infeasible;
+  }
+  for (const MckpStage& stage : stages) {
+    if (stage.items.empty()) {
+      throw std::invalid_argument("stage without items: " + stage.name);
+    }
+  }
+  const long long budget =
+      static_cast<long long>(std::floor(deadline_seconds));
+  if (budget < 0) return infeasible;
+  const std::size_t columns = static_cast<std::size_t>(budget) + 1;
+
+  // dp[c] = best achievable value with total time <= c; -inf (the paper's
+  // z_l(C) := -inf convention) marks "no assignment fits in c". Zero
+  // stages consume zero time, so the base case is 0 everywhere.
+  std::vector<double> dp(columns, 0.0);
+
+  // choice_table[l][c] = item picked for stage l at budget c.
+  std::vector<std::vector<int>> choice_table(
+      stages.size(), std::vector<int>(columns, -1));
+
+  std::vector<double> next(columns);
+  for (std::size_t l = 0; l < stages.size(); ++l) {
+    std::fill(next.begin(), next.end(), -kInfinity);
+    for (std::size_t c = 0; c < columns; ++c) {
+      for (std::size_t j = 0; j < stages[l].items.size(); ++j) {
+        const MckpItem& item = stages[l].items[j];
+        const long long t = rounded_seconds(item.time_seconds);
+        if (static_cast<long long>(c) < t) continue;
+        const double prev = dp[c - static_cast<std::size_t>(t)];
+        if (prev == -kInfinity) continue;
+        const double candidate = prev + item_value(item, objective);
+        if (candidate > next[c]) {
+          next[c] = candidate;
+          choice_table[l][c] = static_cast<int>(j);
+        }
+      }
+    }
+    dp = next;
+  }
+
+  // Find the best terminal budget.
+  std::size_t best_c = 0;
+  double best_value = -kInfinity;
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (dp[c] > best_value) {
+      best_value = dp[c];
+      best_c = c;
+    }
+  }
+  if (best_value == -kInfinity) return infeasible;
+
+  // Reconstruct choices backwards.
+  std::vector<int> choice(stages.size(), -1);
+  std::size_t c = best_c;
+  for (std::size_t l = stages.size(); l-- > 0;) {
+    const int j = choice_table[l][c];
+    if (j < 0) return infeasible;  // defensive; should not happen
+    choice[l] = j;
+    c -= static_cast<std::size_t>(rounded_seconds(
+        stages[l].items[static_cast<std::size_t>(j)].time_seconds));
+  }
+  return finalize(stages, std::move(choice), objective);
+}
+
+MckpSelection solve_mckp_brute_force(const std::vector<MckpStage>& stages,
+                                     double deadline_seconds,
+                                     Objective objective) {
+  MckpSelection best;
+  if (stages.empty()) {
+    best.feasible = true;
+    return best;
+  }
+  std::vector<int> choice(stages.size(), 0);
+  double best_value = -kInfinity;
+  const long long budget =
+      static_cast<long long>(std::floor(deadline_seconds));
+
+  auto recurse = [&](auto&& self, std::size_t l, long long used,
+                     double value) -> void {
+    if (l == stages.size()) {
+      if (value > best_value) {
+        best_value = value;
+        best = finalize(stages, choice, objective);
+      }
+      return;
+    }
+    for (std::size_t j = 0; j < stages[l].items.size(); ++j) {
+      const MckpItem& item = stages[l].items[j];
+      const long long t = used + rounded_seconds(item.time_seconds);
+      if (t > budget) continue;
+      choice[l] = static_cast<int>(j);
+      self(self, l + 1, t, value + item_value(item, objective));
+    }
+  };
+  recurse(recurse, 0, 0, 0.0);
+  return best;
+}
+
+MckpSelection fixed_choice(const std::vector<MckpStage>& stages, int index) {
+  MckpSelection selection;
+  selection.feasible = true;
+  for (const MckpStage& stage : stages) {
+    const int j = std::clamp<int>(
+        index, 0, static_cast<int>(stage.items.size()) - 1);
+    selection.choice.push_back(j);
+    const MckpItem& item = stage.items[static_cast<std::size_t>(j)];
+    selection.total_time_seconds += item.time_seconds;
+    selection.total_cost_usd += item.cost_usd;
+  }
+  return selection;
+}
+
+double fastest_completion_seconds(const std::vector<MckpStage>& stages) {
+  double total = 0.0;
+  for (const MckpStage& stage : stages) {
+    double fastest = kInfinity;
+    for (const MckpItem& item : stage.items) {
+      fastest = std::min(fastest, item.time_seconds);
+    }
+    if (fastest == kInfinity) fastest = 0.0;
+    total += fastest;
+  }
+  return total;
+}
+
+std::vector<ParetoPoint> cost_deadline_frontier(
+    const std::vector<MckpStage>& stages) {
+  std::vector<ParetoPoint> frontier;
+  if (stages.empty()) return frontier;
+  for (const MckpStage& stage : stages) {
+    if (stage.items.empty()) {
+      throw std::invalid_argument("stage without items: " + stage.name);
+    }
+  }
+  // Budget range: fastest completion .. total time of the globally
+  // cheapest per-stage items (beyond that the cost cannot improve).
+  long long budget_hi = 0;
+  for (const MckpStage& stage : stages) {
+    const MckpItem* cheapest = &stage.items.front();
+    for (const MckpItem& item : stage.items) {
+      if (item.cost_usd < cheapest->cost_usd - 1e-15 ||
+          (std::abs(item.cost_usd - cheapest->cost_usd) <= 1e-15 &&
+           item.time_seconds < cheapest->time_seconds)) {
+        cheapest = &item;
+      }
+    }
+    budget_hi += rounded_seconds(cheapest->time_seconds);
+  }
+  const std::size_t columns = static_cast<std::size_t>(budget_hi) + 1;
+
+  std::vector<double> dp(columns, 0.0);  // max of (-cost); 0 = zero stages
+  std::vector<double> next(columns);
+  for (const MckpStage& stage : stages) {
+    std::fill(next.begin(), next.end(), -kInfinity);
+    for (std::size_t c = 0; c < columns; ++c) {
+      for (const MckpItem& item : stage.items) {
+        const long long t = rounded_seconds(item.time_seconds);
+        if (static_cast<long long>(c) < t) continue;
+        const double prev = dp[c - static_cast<std::size_t>(t)];
+        if (prev == -kInfinity) continue;
+        next[c] = std::max(next[c], prev - item.cost_usd);
+      }
+    }
+    dp = next;
+  }
+
+  double best = -kInfinity;
+  for (std::size_t c = 0; c < columns; ++c) {
+    if (dp[c] > best + 1e-12) {
+      best = dp[c];
+      frontier.push_back(
+          {static_cast<double>(c), -best});
+    }
+  }
+  return frontier;
+}
+
+MckpSelection fastest_within_budget(const std::vector<MckpStage>& stages,
+                                    double budget_usd) {
+  const auto frontier = cost_deadline_frontier(stages);
+  for (const ParetoPoint& point : frontier) {
+    if (point.cost_usd <= budget_usd + 1e-12) {
+      // The earliest frontier point within budget; rebuild the selection.
+      return solve_mckp_dp(stages, point.deadline_seconds);
+    }
+  }
+  return MckpSelection{};  // infeasible: cheapest plan exceeds the budget
+}
+
+}  // namespace edacloud::cloud

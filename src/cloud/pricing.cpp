@@ -1,0 +1,62 @@
+#include "cloud/pricing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edacloud::cloud {
+
+void PricingCatalog::set_rate(perf::InstanceFamily family,
+                              double usd_per_vcpu_hour) {
+  if (usd_per_vcpu_hour <= 0.0) {
+    throw std::invalid_argument("rate must be positive");
+  }
+  switch (family) {
+    case perf::InstanceFamily::kGeneralPurpose:
+      general_ = usd_per_vcpu_hour;
+      break;
+    case perf::InstanceFamily::kMemoryOptimized:
+      memory_ = usd_per_vcpu_hour;
+      break;
+    case perf::InstanceFamily::kComputeOptimized:
+      compute_ = usd_per_vcpu_hour;
+      break;
+  }
+}
+
+double PricingCatalog::rate(perf::InstanceFamily family) const {
+  switch (family) {
+    case perf::InstanceFamily::kGeneralPurpose:
+      return general_;
+    case perf::InstanceFamily::kMemoryOptimized:
+      return memory_;
+    case perf::InstanceFamily::kComputeOptimized:
+      return compute_;
+  }
+  return general_;
+}
+
+double PricingCatalog::hourly_usd(perf::InstanceFamily family,
+                                  int vcpus) const {
+  if (vcpus <= 0) throw std::invalid_argument("vcpus must be positive");
+  return rate(family) * static_cast<double>(vcpus);
+}
+
+double PricingCatalog::job_cost_usd(perf::InstanceFamily family, int vcpus,
+                                    double runtime_seconds) const {
+  if (runtime_seconds < 0.0) {
+    throw std::invalid_argument("runtime must be non-negative");
+  }
+  const double billed_seconds = std::ceil(runtime_seconds);
+  return hourly_usd(family, vcpus) * billed_seconds / 3600.0;
+}
+
+double PricingCatalog::spot_job_cost_usd(perf::InstanceFamily family,
+                                          int vcpus, double runtime_seconds,
+                                          const SpotModel& spot) const {
+  const double expected = spot.expected_runtime_seconds(runtime_seconds);
+  return job_cost_usd(family, vcpus, expected) * spot.price_multiplier;
+}
+
+PricingCatalog PricingCatalog::aws_like() { return PricingCatalog(); }
+
+}  // namespace edacloud::cloud

@@ -1,0 +1,70 @@
+#pragma once
+// Cloud pricing model. Mirrors AWS-style on-demand pricing where an
+// instance's hourly price is linear in vCPUs with a family-dependent rate
+// (m5-like general purpose, r5-like memory optimized, c5-like compute
+// optimized), billed per second as the paper assumes ("cloud machines are
+// billed per second (no fractions)").
+
+#include <vector>
+
+#include "perf/vm.hpp"
+
+namespace edacloud::cloud {
+
+struct PriceEntry {
+  perf::InstanceFamily family = perf::InstanceFamily::kGeneralPurpose;
+  double usd_per_vcpu_hour = 0.048;
+};
+
+/// Spot-market model: deep discount, but instances can be reclaimed.
+/// An interruption loses `restart_overhead_fraction` of the work done in
+/// the current attempt, so the *expected* runtime stretches with the
+/// interruption rate — long jobs on spot get progressively worse, which is
+/// exactly the trade-off the optimizer must weigh.
+struct SpotModel {
+  double price_multiplier = 0.35;          // spot price / on-demand price
+  double interruptions_per_hour = 0.08;    // reclaim rate
+  double restart_overhead_fraction = 0.6;  // work lost per interruption
+
+  /// Expected wall-clock once expected interruptions are paid for.
+  [[nodiscard]] double expected_runtime_seconds(double runtime_seconds) const {
+    const double expected_interruptions =
+        interruptions_per_hour * runtime_seconds / 3600.0;
+    return runtime_seconds *
+           (1.0 + expected_interruptions * restart_overhead_fraction);
+  }
+};
+
+class PricingCatalog {
+ public:
+  PricingCatalog() = default;
+
+  void set_rate(perf::InstanceFamily family, double usd_per_vcpu_hour);
+  [[nodiscard]] double rate(perf::InstanceFamily family) const;
+
+  /// Hourly price of a (family, vcpus) instance.
+  [[nodiscard]] double hourly_usd(perf::InstanceFamily family,
+                                  int vcpus) const;
+
+  /// Cost of running a job for `runtime_seconds` (per-second billing,
+  /// whole seconds — fractions round up to the next second).
+  [[nodiscard]] double job_cost_usd(perf::InstanceFamily family, int vcpus,
+                                    double runtime_seconds) const;
+
+  /// Expected cost of a job on a spot instance: the discounted rate paid
+  /// for the (stretched) expected runtime.
+  [[nodiscard]] double spot_job_cost_usd(perf::InstanceFamily family,
+                                         int vcpus, double runtime_seconds,
+                                         const SpotModel& spot) const;
+
+  /// AWS-like on-demand rates (us-east-1 ballpark at the paper's writing):
+  /// m5 $0.048/vCPU-h, r5 $0.063/vCPU-h, c5 $0.0425/vCPU-h.
+  static PricingCatalog aws_like();
+
+ private:
+  double general_ = 0.048;
+  double memory_ = 0.063;
+  double compute_ = 0.0425;
+};
+
+}  // namespace edacloud::cloud

@@ -1,0 +1,115 @@
+#include "core/dataset.hpp"
+
+#include <cmath>
+
+#include "core/characterize.hpp"
+#include "nl/star_graph.hpp"
+#include "util/log.hpp"
+
+namespace edacloud::core {
+
+namespace {
+
+/// Convert a DesignGraph + runtime labels into a GraphSample.
+ml::GraphSample make_sample(const nl::DesignGraph& graph,
+                            const std::array<double, 4>& runtimes,
+                            std::uint32_t family_id) {
+  ml::GraphSample sample;
+  sample.in_neighbors = nl::transpose(graph.forward);
+  sample.features = ml::Matrix(graph.node_count(), nl::kNodeFeatureDim);
+  std::copy(graph.features.begin(), graph.features.end(),
+            sample.features.data().begin());
+  for (int j = 0; j < 4; ++j) {
+    sample.log_runtimes[j] = std::log(std::max(1e-12, runtimes[j]));
+  }
+  sample.family_id = family_id;
+  return sample;
+}
+
+/// Slice a both-family measurement down to the job's recommended family.
+std::array<double, 4> recommended_runtimes(
+    const perf::JobMeasurement& measurement, JobKind job) {
+  const perf::InstanceFamily family = recommended_family(job);
+  std::array<double, 4> out{};
+  int cursor = 0;
+  for (std::size_t i = 0; i < measurement.configs.size(); ++i) {
+    if (measurement.configs[i].family != family) continue;
+    if (cursor >= 4) break;
+    out[cursor++] = measurement.runtime_seconds[i];
+  }
+  return out;
+}
+
+std::vector<perf::VmConfig> both_family_ladder() {
+  std::vector<perf::VmConfig> configs;
+  for (const auto family : {perf::InstanceFamily::kGeneralPurpose,
+                            perf::InstanceFamily::kMemoryOptimized}) {
+    for (const auto& vm : perf::vm_ladder(family)) configs.push_back(vm);
+  }
+  return configs;
+}
+
+}  // namespace
+
+Dataset DatasetBuilder::build() const {
+  return build(workloads::corpus_specs());
+}
+
+Dataset DatasetBuilder::build(
+    const std::vector<workloads::BenchmarkSpec>& specs) const {
+  Dataset dataset;
+  const auto configs = both_family_ladder();
+  const auto recipes = synth::standard_recipes();
+  const std::size_t recipe_count =
+      std::min(options_.max_recipes, recipes.size());
+
+  std::uint32_t design_id = 0;
+  for (const workloads::BenchmarkSpec& spec : specs) {
+    if (dataset.netlist_count >= options_.max_netlists) break;
+    const nl::Aig design = workloads::generate(spec);
+    ++dataset.design_count;
+
+    bool synthesis_sample_added = false;
+    for (std::size_t r = 0; r < recipe_count; ++r) {
+      if (dataset.netlist_count >= options_.max_netlists) break;
+      FlowOptions flow_options = options_.flow;
+      flow_options.recipe = recipes[r];
+      EdaFlow flow(*library_, flow_options);
+      const FlowResult result = flow.run(design, configs);
+      ++dataset.netlist_count;
+
+      if (options_.verbose) {
+        EDACLOUD_INFO << "dataset: " << design.name() << " recipe "
+                      << recipes[r].name << " ("
+                      << dataset.netlist_count << "/"
+                      << options_.max_netlists << ")";
+      }
+
+      // Synthesis: one AIG sample per design (default-recipe label).
+      if (!synthesis_sample_added) {
+        const auto graph = nl::graph_from_aig(design);
+        dataset.samples[static_cast<int>(JobKind::kSynthesis)].push_back(
+            make_sample(graph,
+                        recommended_runtimes(
+                            result.measurement(JobKind::kSynthesis),
+                            JobKind::kSynthesis),
+                        design_id));
+        synthesis_sample_added = true;
+      }
+
+      // Netlist jobs: one sample per netlist variant.
+      const auto netlist_graph =
+          nl::graph_from_netlist(result.synthesis.mapped.netlist);
+      for (JobKind job :
+           {JobKind::kPlacement, JobKind::kRouting, JobKind::kSta}) {
+        dataset.samples[static_cast<int>(job)].push_back(make_sample(
+            netlist_graph,
+            recommended_runtimes(result.measurement(job), job), design_id));
+      }
+    }
+    ++design_id;
+  }
+  return dataset;
+}
+
+}  // namespace edacloud::core

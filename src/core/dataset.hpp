@@ -1,0 +1,52 @@
+#pragma once
+// Problem 2 substrate — corpus construction (§IV "Dataset"). Applies the
+// synthesis-recipe set to every registry design to produce structurally
+// different, logically equivalent netlists (the paper's 330), runs each
+// through the instrumented flow, and packages per-application GraphSamples:
+// AIG graphs for the synthesis model, star-model netlist graphs for the
+// placement/routing/STA models, labeled with the simulated runtimes on the
+// job's recommended instance family at 1/2/4/8 vCPUs.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "ml/gcn.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::core {
+
+struct DatasetOptions {
+  std::size_t max_netlists = 330;
+  std::size_t max_recipes = 5;   // recipes applied per design
+  FlowOptions flow;
+  bool verbose = false;          // log per-design progress
+};
+
+struct Dataset {
+  /// Samples per application (indexed by JobKind). Synthesis samples are
+  /// one per *design* (AIG inputs); netlist jobs one per *netlist*.
+  std::array<std::vector<ml::GraphSample>, kJobCount> samples;
+  std::size_t design_count = 0;
+  std::size_t netlist_count = 0;
+};
+
+class DatasetBuilder {
+ public:
+  explicit DatasetBuilder(const nl::CellLibrary& library,
+                          DatasetOptions options = {})
+      : library_(&library), options_(std::move(options)) {}
+
+  [[nodiscard]] Dataset build() const;
+
+  /// Build from an explicit spec list (tests / reduced runs).
+  [[nodiscard]] Dataset build(
+      const std::vector<workloads::BenchmarkSpec>& specs) const;
+
+ private:
+  const nl::CellLibrary* library_;
+  DatasetOptions options_;
+};
+
+}  // namespace edacloud::core

@@ -1,0 +1,52 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+namespace edacloud::core {
+
+std::string job_name(JobKind job) {
+  switch (job) {
+    case JobKind::kSynthesis:
+      return "synthesis";
+    case JobKind::kPlacement:
+      return "placement";
+    case JobKind::kRouting:
+      return "routing";
+    case JobKind::kSta:
+      return "sta";
+  }
+  return "?";
+}
+
+FlowResult EdaFlow::run(const nl::Aig& design,
+                        const std::vector<perf::VmConfig>& configs) const {
+  FlowResult result;
+  result.design_name = design.name();
+
+  synth::SynthesisEngine synthesis_engine(*library_);
+  result.synthesis = synthesis_engine.run(design, options_.recipe, configs);
+  const nl::Netlist& netlist = result.synthesis.mapped.netlist;
+
+  place::QuadraticPlacer placer(options_.placer);
+  result.placement = placer.run(netlist, configs);
+
+  route::GridRouter router(options_.router);
+  result.routing = router.run(netlist, result.placement.placement, configs);
+
+  sta::StaEngine sta_engine(options_.sta);
+  result.timing = sta_engine.run(netlist, &result.placement.placement, configs);
+
+  if (!configs.empty()) {
+    const std::array<const perf::JobProfile*, kJobCount> profiles = {
+        &result.synthesis.profile, &result.placement.profile,
+        &result.routing.profile, &result.timing.profile};
+    for (int j = 0; j < kJobCount; ++j) {
+      perf::RuntimeModelParams params = options_.runtime_model;
+      params.time_scale *= options_.calibration.time_scale[j];
+      result.measurements[j] = perf::measure(*profiles[j], params);
+    }
+  }
+  return result;
+}
+
+}  // namespace edacloud::core

@@ -1,0 +1,74 @@
+#include "core/optimizer.hpp"
+
+namespace edacloud::core {
+
+std::vector<cloud::MckpStage> DeploymentOptimizer::build_stages(
+    const RuntimeLadders& ladders) const {
+  std::vector<cloud::MckpStage> stages;
+  for (JobKind job : kAllJobs) {
+    cloud::MckpStage stage;
+    stage.name = job_name(job);
+    const perf::InstanceFamily family = recommended_family(job);
+    for (int i = 0; i < 4; ++i) {
+      const int vcpus = perf::kVcpuOptions[static_cast<std::size_t>(i)];
+      cloud::MckpItem item;
+      item.time_seconds = ladders[static_cast<int>(job)][i];
+      item.cost_usd =
+          catalog_.job_cost_usd(family, vcpus, item.time_seconds);
+      item.label = perf::make_vm(family, vcpus).name();
+      stage.items.push_back(item);
+    }
+    if (spot_.has_value()) {
+      for (int i = 0; i < 4; ++i) {
+        const int vcpus = perf::kVcpuOptions[static_cast<std::size_t>(i)];
+        const double runtime = ladders[static_cast<int>(job)][i];
+        cloud::MckpItem item;
+        item.time_seconds = spot_->expected_runtime_seconds(runtime);
+        item.cost_usd =
+            catalog_.spot_job_cost_usd(family, vcpus, runtime, *spot_);
+        item.label = perf::make_vm(family, vcpus).name() + "-spot";
+        stage.items.push_back(item);
+      }
+    }
+    stages.push_back(std::move(stage));
+  }
+  return stages;
+}
+
+DeploymentPlan DeploymentOptimizer::optimize(const RuntimeLadders& ladders,
+                                             double deadline_seconds) const {
+  const auto stages = build_stages(ladders);
+  const cloud::MckpSelection selection =
+      cloud::solve_mckp_dp(stages, deadline_seconds, objective_);
+
+  DeploymentPlan plan;
+  plan.deadline_seconds = deadline_seconds;
+  plan.feasible = selection.feasible && !selection.choice.empty();
+  if (!plan.feasible) return plan;
+
+  for (std::size_t l = 0; l < stages.size(); ++l) {
+    const int j = selection.choice[l];
+    const cloud::MckpItem& item =
+        stages[l].items[static_cast<std::size_t>(j)];
+    DeploymentPlanEntry entry;
+    entry.job = kAllJobs[l];
+    entry.family = recommended_family(entry.job);
+    entry.vcpus =
+        perf::kVcpuOptions[static_cast<std::size_t>(j) % 4];
+    entry.spot = static_cast<std::size_t>(j) >= 4;
+    entry.runtime_seconds = item.time_seconds;
+    entry.cost_usd = item.cost_usd;
+    plan.entries.push_back(entry);
+  }
+  plan.total_runtime_seconds = selection.total_time_seconds;
+  plan.total_cost_usd = selection.total_cost_usd;
+  return plan;
+}
+
+cloud::SavingsReport DeploymentOptimizer::savings(
+    const RuntimeLadders& ladders, double deadline_seconds) const {
+  return cloud::analyze_savings(build_stages(ladders), deadline_seconds,
+                                objective_);
+}
+
+}  // namespace edacloud::core

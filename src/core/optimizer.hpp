@@ -1,0 +1,77 @@
+#pragma once
+// Problem 3 — deployment optimization (§III-C, Table I, Fig. 6). Builds
+// MCKP stages from per-job runtime ladders (measured or GCN-predicted) on
+// each job's recommended instance family, prices them with the vendor
+// catalog, and solves for the cheapest deployment under a deadline.
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/mckp.hpp"
+#include "cloud/pricing.hpp"
+#include "cloud/savings.hpp"
+#include "core/characterize.hpp"
+
+namespace edacloud::core {
+
+/// Per-job runtime ladder (seconds at 1/2/4/8 vCPUs) on the job's
+/// recommended family — the optimizer's input, regardless of whether it
+/// came from measurement or prediction.
+using RuntimeLadders = std::array<std::array<double, 4>, kJobCount>;
+
+struct DeploymentPlanEntry {
+  JobKind job = JobKind::kSynthesis;
+  perf::InstanceFamily family = perf::InstanceFamily::kGeneralPurpose;
+  int vcpus = 1;
+  bool spot = false;  // spot-market instance (expected-runtime pricing)
+  double runtime_seconds = 0.0;
+  double cost_usd = 0.0;
+};
+
+struct DeploymentPlan {
+  bool feasible = false;  // "NA" row in Table I when false
+  double deadline_seconds = 0.0;
+  std::vector<DeploymentPlanEntry> entries;
+  double total_runtime_seconds = 0.0;
+  double total_cost_usd = 0.0;
+};
+
+class DeploymentOptimizer {
+ public:
+  explicit DeploymentOptimizer(
+      cloud::PricingCatalog catalog = cloud::PricingCatalog::aws_like(),
+      cloud::Objective objective = cloud::Objective::kMinTotalCost)
+      : catalog_(catalog), objective_(objective) {}
+
+  /// Offer spot instances alongside on-demand: every stage gets a second
+  /// set of items priced at the spot discount with interruption-stretched
+  /// expected runtimes. Deadline feasibility then holds in expectation.
+  void enable_spot(cloud::SpotModel spot) { spot_ = spot; }
+  void disable_spot() { spot_.reset(); }
+  [[nodiscard]] bool spot_enabled() const { return spot_.has_value(); }
+
+  /// MCKP stages for the four jobs (items ordered 1,2,4,8 vCPUs).
+  [[nodiscard]] std::vector<cloud::MckpStage> build_stages(
+      const RuntimeLadders& ladders) const;
+
+  /// Table I row: cheapest deployment meeting `deadline_seconds`.
+  [[nodiscard]] DeploymentPlan optimize(const RuntimeLadders& ladders,
+                                        double deadline_seconds) const;
+
+  /// Fig. 6 point: optimizer vs over-/under-provisioning at one deadline.
+  [[nodiscard]] cloud::SavingsReport savings(const RuntimeLadders& ladders,
+                                             double deadline_seconds) const;
+
+  [[nodiscard]] const cloud::PricingCatalog& catalog() const {
+    return catalog_;
+  }
+
+ private:
+  cloud::PricingCatalog catalog_;
+  cloud::Objective objective_;
+  std::optional<cloud::SpotModel> spot_;
+};
+
+}  // namespace edacloud::core

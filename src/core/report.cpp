@@ -1,0 +1,99 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace edacloud::core {
+
+namespace {
+
+void counter_table(std::ostringstream& out,
+                   const CharacterizationReport& characterization,
+                   const char* title,
+                   std::array<double, 4> CharacterizationRow::*field,
+                   bool percent) {
+  out << "### " << title << "\n\n";
+  out << "| job | 1 vCPU | 2 vCPUs | 4 vCPUs | 8 vCPUs |\n";
+  out << "|---|---|---|---|---|\n";
+  for (JobKind job : kAllJobs) {
+    const auto* row =
+        characterization.find(job, recommended_family(job));
+    if (row == nullptr) continue;
+    out << "| " << job_name(job) << " ";
+    for (int i = 0; i < 4; ++i) {
+      const double value = (row->*field)[i];
+      out << "| "
+          << (percent ? util::format_percent(value, 2)
+                      : util::format_fixed(value, 2))
+          << " ";
+    }
+    out << "|\n";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string markdown_report(const ReportInputs& inputs) {
+  std::ostringstream out;
+  const auto& characterization = inputs.characterization;
+
+  out << "# Cloud deployment report: " << characterization.design_name
+      << "\n\n";
+  out << "- mapped instances: "
+      << util::format_count(
+             static_cast<long long>(characterization.instance_count))
+      << "\n";
+  out << "- deadline: " << util::format_duration(inputs.deadline_seconds)
+      << "\n\n";
+
+  out << "## Characterization (recommended family per job)\n\n";
+  counter_table(out, characterization, "Runtime (seconds)",
+                &CharacterizationRow::runtime_seconds, false);
+  counter_table(out, characterization, "Speedup vs 1 vCPU",
+                &CharacterizationRow::speedup, false);
+  counter_table(out, characterization, "Cache (LLC) miss rate",
+                &CharacterizationRow::llc_miss_rate, true);
+  counter_table(out, characterization, "Branch miss rate",
+                &CharacterizationRow::branch_miss_rate, true);
+  counter_table(out, characterization, "AVX share of arithmetic",
+                &CharacterizationRow::avx_fraction, true);
+
+  out << "## Deployment plan\n\n";
+  if (!inputs.plan.feasible) {
+    out << "**The deadline is not achievable** — the fastest possible "
+           "completion exceeds it. Relax the deadline or split the flow.\n";
+    return out.str();
+  }
+  out << "| stage | instance | vCPUs | runtime | cost |\n";
+  out << "|---|---|---|---|---|\n";
+  for (const auto& entry : inputs.plan.entries) {
+    out << "| " << job_name(entry.job) << " | "
+        << perf::to_string(entry.family) << " | " << entry.vcpus << " | "
+        << util::format_duration(entry.runtime_seconds) << " | $"
+        << util::format_fixed(entry.cost_usd, 4) << " |\n";
+  }
+  out << "| **total** |  |  | **"
+      << util::format_duration(inputs.plan.total_runtime_seconds)
+      << "** | **$" << util::format_fixed(inputs.plan.total_cost_usd, 4)
+      << "** |\n\n";
+
+  out << "## Against naive provisioning\n\n";
+  out << "- over-provisioning (8 vCPUs everywhere): $"
+      << util::format_fixed(inputs.savings.over_provision_cost_usd, 4)
+      << " — the plan saves "
+      << util::format_percent(inputs.savings.saving_vs_over, 1) << "\n";
+  out << "- under-provisioning (1 vCPU everywhere): $"
+      << util::format_fixed(inputs.savings.under_provision_cost_usd, 4)
+      << ", finishing in "
+      << util::format_duration(inputs.savings.under_provision_time_seconds);
+  if (inputs.savings.under_provision_time_seconds >
+      inputs.deadline_seconds) {
+    out << " — **misses the deadline**";
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace edacloud::core

@@ -1,0 +1,24 @@
+#pragma once
+// Markdown report generation: turns a characterization + deployment plan
+// into the document an EDA team would attach to their cloud-migration
+// proposal — per-job counter tables, speedup curves, the recommended
+// instance per stage, and the costed plan vs naive provisioning.
+
+#include <string>
+
+#include "core/characterize.hpp"
+#include "core/optimizer.hpp"
+
+namespace edacloud::core {
+
+struct ReportInputs {
+  CharacterizationReport characterization;
+  DeploymentPlan plan;
+  cloud::SavingsReport savings;
+  double deadline_seconds = 0.0;
+};
+
+/// Render the full migration report as GitHub-flavored markdown.
+std::string markdown_report(const ReportInputs& inputs);
+
+}  // namespace edacloud::core

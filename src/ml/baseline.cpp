@@ -1,0 +1,112 @@
+#include "ml/baseline.hpp"
+
+#include <cmath>
+
+namespace edacloud::ml {
+
+std::array<double, RidgeBaseline::kFeatureCount> RidgeBaseline::features(
+    const GraphSample& sample) {
+  const double n =
+      static_cast<double>(std::max<std::size_t>(1, sample.features.rows()));
+  const double edges = static_cast<double>(
+      std::max<std::size_t>(1, sample.in_neighbors.edge_count()));
+  // Depth proxy: the level feature (column 17) is level/depth; recover an
+  // aggregate as the mean over nodes (deeper graphs have higher mass).
+  double level_mass = 0.0;
+  for (std::size_t v = 0; v < sample.features.rows(); ++v) {
+    level_mass += sample.features.at(v, 17);
+  }
+  return {std::log(n), std::log(edges), level_mass / n, edges / n, 1.0};
+}
+
+void RidgeBaseline::fit(const std::vector<GraphSample>& train,
+                        const TargetScaler& scaler) {
+  constexpr int f = kFeatureCount;
+  // Normal equations: (X^T X + l2 I) w = X^T y, solved per output channel
+  // with Gaussian elimination on the small f x f system.
+  double xtx[f][f] = {};
+  double xty[f][kRuntimeOutputs] = {};
+  for (const GraphSample& sample : train) {
+    const auto x = features(sample);
+    const auto y = scaler.transform(sample.log_runtimes);
+    for (int i = 0; i < f; ++i) {
+      for (int j = 0; j < f; ++j) xtx[i][j] += x[i] * x[j];
+      for (int k = 0; k < kRuntimeOutputs; ++k) xty[i][k] += x[i] * y[k];
+    }
+  }
+  for (int i = 0; i < f; ++i) xtx[i][i] += l2_;
+
+  // Gaussian elimination with partial pivoting; solves all RHS at once.
+  for (int col = 0; col < f; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < f; ++row) {
+      if (std::abs(xtx[row][col]) > std::abs(xtx[pivot][col])) pivot = row;
+    }
+    for (int j = 0; j < f; ++j) std::swap(xtx[col][j], xtx[pivot][j]);
+    for (int k = 0; k < kRuntimeOutputs; ++k) {
+      std::swap(xty[col][k], xty[pivot][k]);
+    }
+    const double diag = xtx[col][col];
+    if (std::abs(diag) < 1e-12) continue;  // degenerate: leave row zeroed
+    for (int row = col + 1; row < f; ++row) {
+      const double factor = xtx[row][col] / diag;
+      for (int j = col; j < f; ++j) xtx[row][j] -= factor * xtx[col][j];
+      for (int k = 0; k < kRuntimeOutputs; ++k) {
+        xty[row][k] -= factor * xty[col][k];
+      }
+    }
+  }
+  for (int k = 0; k < kRuntimeOutputs; ++k) {
+    for (int row = f - 1; row >= 0; --row) {
+      double acc = xty[row][k];
+      for (int j = row + 1; j < f; ++j) {
+        acc -= xtx[row][j] * weights_[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(j)];
+      }
+      weights_[static_cast<std::size_t>(k)][static_cast<std::size_t>(row)] =
+          std::abs(xtx[row][row]) < 1e-12 ? 0.0 : acc / xtx[row][row];
+    }
+  }
+  fitted_ = true;
+}
+
+std::array<double, kRuntimeOutputs> RidgeBaseline::predict(
+    const GraphSample& sample) const {
+  const auto x = features(sample);
+  std::array<double, kRuntimeOutputs> out{};
+  for (int k = 0; k < kRuntimeOutputs; ++k) {
+    double acc = 0.0;
+    for (int i = 0; i < kFeatureCount; ++i) {
+      acc += weights_[static_cast<std::size_t>(k)]
+                     [static_cast<std::size_t>(i)] *
+             x[static_cast<std::size_t>(i)];
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+EvalResult RidgeBaseline::evaluate(const std::vector<GraphSample>& test,
+                                   const TargetScaler& scaler) const {
+  EvalResult result;
+  for (const GraphSample& sample : test) {
+    const auto predicted_log = scaler.inverse(predict(sample));
+    for (int j = 0; j < kRuntimeOutputs; ++j) {
+      const double truth = std::exp(sample.log_runtimes[j]);
+      const double predicted = std::exp(predicted_log[j]);
+      if (truth > 0.0) {
+        result.relative_errors.push_back(std::abs(predicted - truth) /
+                                         truth);
+      }
+    }
+  }
+  if (!result.relative_errors.empty()) {
+    double sum = 0.0;
+    for (double e : result.relative_errors) sum += e;
+    result.mean_relative_error =
+        sum / static_cast<double>(result.relative_errors.size());
+  }
+  return result;
+}
+
+}  // namespace edacloud::ml

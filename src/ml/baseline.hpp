@@ -1,0 +1,44 @@
+#pragma once
+// Analytic baseline for the runtime predictor: closed-form ridge
+// regression on scalar graph-summary features (log node count, log edge
+// count, depth, average fanout). The GCN must beat this to justify itself
+// — the comparison runs in the Fig. 5 harness.
+
+#include <array>
+#include <vector>
+
+#include "ml/gcn.hpp"
+
+namespace edacloud::ml {
+
+class RidgeBaseline {
+ public:
+  static constexpr int kFeatureCount = 5;  // 4 summaries + bias
+
+  explicit RidgeBaseline(double l2 = 1e-3) : l2_(l2) {}
+
+  /// Fit on (scaled) log-runtime targets, one independent regression per
+  /// output channel.
+  void fit(const std::vector<GraphSample>& train, const TargetScaler& scaler);
+
+  /// Predict scaled targets (same contract as GcnModel::predict).
+  [[nodiscard]] std::array<double, kRuntimeOutputs> predict(
+      const GraphSample& sample) const;
+
+  /// Relative errors in raw runtime space (mirrors Trainer::evaluate).
+  [[nodiscard]] EvalResult evaluate(const std::vector<GraphSample>& test,
+                                    const TargetScaler& scaler) const;
+
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  /// The summary-feature vector used for one sample (exposed for tests).
+  static std::array<double, kFeatureCount> features(const GraphSample& sample);
+
+ private:
+  double l2_;
+  bool fitted_ = false;
+  // weights_[output][feature]
+  std::array<std::array<double, kFeatureCount>, kRuntimeOutputs> weights_{};
+};
+
+}  // namespace edacloud::ml

@@ -1,0 +1,157 @@
+#pragma once
+// The paper's runtime-prediction model (§III-B): two graph-convolution
+// layers (mean neighbor aggregation plus a self term, Eq. 2), sum-pooling,
+// and a fully-connected head that emits the predicted runtime for 1, 2, 4
+// and 8 vCPUs simultaneously. Trained per application with MSE loss and
+// Adam. The default widths follow the paper (256/128 GCN, 128 FC); the
+// "fast" preset trades width for CI-speed training.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "nl/graph.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::ml {
+
+constexpr int kRuntimeOutputs = 4;  // 1, 2, 4, 8 vCPUs
+
+struct GcnConfig {
+  int input_dim = 20;  // nl::kNodeFeatureDim
+  int hidden1 = 256;
+  int hidden2 = 128;
+  int fc = 128;
+  int epochs = 200;
+  double learning_rate = 1e-4;
+  std::uint64_t seed = 7;
+
+  /// Paper architecture (2 GCN layers with 256/128 hidden units, one
+  /// 128-unit fully-connected layer, 200 epochs, Adam lr=1e-4).
+  static GcnConfig paper();
+  /// Smaller widths + fewer epochs for fast experiment turnaround.
+  static GcnConfig fast();
+};
+
+/// One training/evaluation graph: direction-preserving DAG + features +
+/// log-runtime targets for the four machine sizes.
+struct GraphSample {
+  nl::Csr in_neighbors;  // transpose of the forward DAG
+  Matrix features;       // n x input_dim
+  std::array<double, kRuntimeOutputs> log_runtimes{};
+  std::uint32_t family_id = 0;  // split unit (unseen designs in test)
+};
+
+/// Z-score scaler for the 4 target channels.
+struct TargetScaler {
+  std::array<double, kRuntimeOutputs> mean{};
+  std::array<double, kRuntimeOutputs> stddev{};
+
+  void fit(const std::vector<GraphSample>& samples);
+  [[nodiscard]] std::array<double, kRuntimeOutputs> transform(
+      const std::array<double, kRuntimeOutputs>& raw) const;
+  [[nodiscard]] std::array<double, kRuntimeOutputs> inverse(
+      const std::array<double, kRuntimeOutputs>& scaled) const;
+};
+
+class GcnModel {
+ public:
+  explicit GcnModel(const GcnConfig& config);
+
+  /// Predict scaled targets for one graph.
+  [[nodiscard]] std::array<double, kRuntimeOutputs> predict(
+      const GraphSample& sample) const;
+
+  /// One SGD step on a single graph; returns the MSE loss (scaled space).
+  double train_step(const GraphSample& sample,
+                    const std::array<double, kRuntimeOutputs>& target);
+
+  [[nodiscard]] const GcnConfig& config() const { return config_; }
+  /// Adjust the optimizer step size (used for mid-training decay).
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  /// Serialize all weights (text format, version-tagged). A model loaded
+  /// from the dump reproduces predictions bit-for-bit on the same input.
+  [[nodiscard]] std::string save() const;
+  /// Restore weights saved by save(); returns false (and leaves the model
+  /// untouched) on format/shape mismatch.
+  bool load(const std::string& text);
+
+ private:
+  struct Tensor {
+    Matrix value;
+    Matrix grad;
+    Matrix adam_m;
+    Matrix adam_v;
+    Tensor() = default;
+    Tensor(std::size_t rows, std::size_t cols, util::Rng& rng, double scale);
+  };
+  struct BiasTensor {
+    std::vector<double> value, grad, adam_m, adam_v;
+    explicit BiasTensor(std::size_t n)
+        : value(n, 0.0), grad(n, 0.0), adam_m(n, 0.0), adam_v(n, 0.0) {}
+    BiasTensor() = default;
+  };
+
+  struct Forward {
+    Matrix agg1, z1, h1, agg2, z2, h2;
+    Matrix pooled;  // 1 x hidden2
+    Matrix z3, h3;  // fc
+    std::array<double, kRuntimeOutputs> out{};
+  };
+
+  Forward run_forward(const GraphSample& sample) const;
+  void adam_step();
+
+  GcnConfig config_;
+  // GCN layer 1: W (aggregated term), S (self term), bias.
+  Tensor w1_, s1_;
+  BiasTensor b1_;
+  Tensor w2_, s2_;
+  BiasTensor b2_;
+  // FC head.
+  Tensor w3_;
+  BiasTensor b3_;
+  Tensor w4_;
+  BiasTensor b4_;
+  std::uint64_t adam_t_ = 0;
+};
+
+/// Train/evaluate bundle.
+struct TrainResult {
+  std::vector<double> epoch_losses;
+  double final_train_loss = 0.0;
+};
+
+struct EvalResult {
+  // Relative error |pred - truth| / truth per (sample, vCPU config).
+  std::vector<double> relative_errors;
+  double mean_relative_error = 0.0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(GcnConfig config) : config_(config) {}
+
+  TrainResult fit(GcnModel& model, const TargetScaler& scaler,
+                  const std::vector<GraphSample>& train) const;
+
+  /// Evaluate in raw runtime space (inverse scaling + exp).
+  static EvalResult evaluate(const GcnModel& model, const TargetScaler& scaler,
+                             const std::vector<GraphSample>& test);
+
+ private:
+  GcnConfig config_;
+};
+
+/// Family-level split: samples whose family_id % modulus == remainder go to
+/// test (unseen designs), the rest to train.
+void split_by_family(const std::vector<GraphSample>& all,
+                     std::uint32_t modulus, std::uint32_t remainder,
+                     std::vector<GraphSample>& train,
+                     std::vector<GraphSample>& test);
+
+}  // namespace edacloud::ml

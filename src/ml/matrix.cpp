@@ -1,0 +1,124 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edacloud::ml {
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double av = arow[k];
+      if (av == 0.0) continue;
+      const double* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b shape");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t n = 0; n < a.rows(); ++n) {
+    const double* arow = a.row(n);
+    const double* brow = b.row(n);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+void add_bias_rows(Matrix& m, const std::vector<double>& bias) {
+  if (bias.size() != m.cols()) throw std::invalid_argument("bias shape");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+void relu_inplace(Matrix& m) {
+  for (double& v : m.data()) v = std::max(0.0, v);
+}
+
+void relu_backward_inplace(Matrix& grad, const Matrix& pre_activation) {
+  if (grad.rows() != pre_activation.rows() ||
+      grad.cols() != pre_activation.cols()) {
+    throw std::invalid_argument("relu backward shape");
+  }
+  for (std::size_t i = 0; i < grad.data().size(); ++i) {
+    if (pre_activation.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+}
+
+std::vector<double> sum_pool(const Matrix& m) {
+  std::vector<double> out(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Matrix aggregate_mean(const nl::Csr& in_csr, const Matrix& features) {
+  if (in_csr.vertex_count() != features.rows()) {
+    throw std::invalid_argument("aggregate shape");
+  }
+  Matrix out(features.rows(), features.cols());
+  for (nl::VertexId v = 0; v < in_csr.vertex_count(); ++v) {
+    const auto [begin, end] = in_csr.range(v);
+    if (begin == end) continue;
+    const double inv = 1.0 / static_cast<double>(end - begin);
+    double* orow = out.row(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const double* frow = features.row(in_csr.targets[e]);
+      for (std::size_t j = 0; j < features.cols(); ++j) {
+        orow[j] += inv * frow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix aggregate_mean_backward(const nl::Csr& in_csr, const Matrix& grad_out) {
+  Matrix grad_in(grad_out.rows(), grad_out.cols());
+  for (nl::VertexId v = 0; v < in_csr.vertex_count(); ++v) {
+    const auto [begin, end] = in_csr.range(v);
+    if (begin == end) continue;
+    const double inv = 1.0 / static_cast<double>(end - begin);
+    const double* grow = grad_out.row(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      double* irow = grad_in.row(in_csr.targets[e]);
+      for (std::size_t j = 0; j < grad_out.cols(); ++j) {
+        irow[j] += inv * grow[j];
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace edacloud::ml

@@ -1,0 +1,67 @@
+#pragma once
+// Minimal dense linear algebra for the GCN runtime predictor. Row-major
+// doubles, sized for graphs of a few thousand nodes and hidden widths in
+// the tens-to-hundreds; all loops are simple enough for the compiler to
+// vectorize.
+
+#include <cstddef>
+#include <vector>
+
+#include "nl/graph.hpp"
+
+namespace edacloud::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] double* row(std::size_t r) { return data_.data() + r * cols_; }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return data_.data() + r * cols_;
+  }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B (A: n x r, B: n x c -> C: r x c).
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+/// C = A * B^T (A: n x c, B: r x c -> C: n x r).
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// out += row-broadcast bias.
+void add_bias_rows(Matrix& m, const std::vector<double>& bias);
+
+/// Elementwise ReLU forward (in place); returns mask-applied copy semantics
+/// via the paired backward below.
+void relu_inplace(Matrix& m);
+/// grad <- grad where pre-activation > 0 else 0.
+void relu_backward_inplace(Matrix& grad, const Matrix& pre_activation);
+
+/// Column-sum pooling: n x d -> 1 x d.
+std::vector<double> sum_pool(const Matrix& m);
+
+/// Mean aggregation over in-neighbors: out[v] = sum_{u->v} in[u] / indeg(v).
+/// `in_csr` maps each vertex to its in-neighbors.
+Matrix aggregate_mean(const nl::Csr& in_csr, const Matrix& features);
+
+/// Backward of aggregate_mean: given d(out), accumulate d(in).
+Matrix aggregate_mean_backward(const nl::Csr& in_csr, const Matrix& grad_out);
+
+}  // namespace edacloud::ml

@@ -1,0 +1,28 @@
+#pragma once
+// ASCII AIGER ("aag") interchange for combinational AIGs — the de-facto
+// exchange format of the logic-synthesis world (ABC, mockturtle, model
+// checkers). Our literal encoding (2*variable + complement, literal 0 =
+// constant false) matches AIGER's exactly, so the mapping is direct.
+// Latches are not supported (the flow is combinational); L must be 0.
+
+#include <string>
+
+#include "nl/aig.hpp"
+
+namespace edacloud::nl {
+
+/// Serialize as "aag M I L O A" ASCII AIGER.
+std::string write_aiger(const Aig& aig);
+
+struct AigerParseResult {
+  bool ok = false;
+  std::string error;
+  Aig aig;
+};
+
+/// Parse an ASCII AIGER file. Requires a strictly topological AND section
+/// (each AND's operands defined before use), as produced by write_aiger
+/// and by standard tools.
+AigerParseResult parse_aiger(const std::string& text);
+
+}  // namespace edacloud::nl

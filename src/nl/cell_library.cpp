@@ -1,0 +1,100 @@
+#include "nl/cell_library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edacloud::nl {
+
+CellId CellLibrary::add_cell(Cell cell) {
+  if (find(cell.name).has_value()) {
+    throw std::invalid_argument("duplicate cell name: " + cell.name);
+  }
+  cells_.push_back(std::move(cell));
+  return static_cast<CellId>(cells_.size() - 1);
+}
+
+std::optional<CellId> CellLibrary::find(std::string_view cell_name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == cell_name) return static_cast<CellId>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<CellId> CellLibrary::cells_with_function(
+    CellFunction function) const {
+  std::vector<CellId> matches;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].function == function) {
+      matches.push_back(static_cast<CellId>(i));
+    }
+  }
+  std::sort(matches.begin(), matches.end(), [this](CellId a, CellId b) {
+    return cells_[a].area_um2 < cells_[b].area_um2;
+  });
+  return matches;
+}
+
+namespace {
+
+Cell make(std::string name, CellFunction fn, int inputs, double area,
+          double cap, double intrinsic, double slope, double leakage) {
+  Cell cell;
+  cell.name = std::move(name);
+  cell.function = fn;
+  cell.input_count = inputs;
+  cell.area_um2 = area;
+  cell.input_cap_ff = cap;
+  cell.intrinsic_delay_ps = intrinsic;
+  cell.drive_res_kohm = slope;
+  cell.leakage_nw = leakage;
+  return cell;
+}
+
+}  // namespace
+
+CellLibrary make_generic_14nm_library() {
+  CellLibrary lib("generic14");
+  lib.set_wire_cap_per_um(0.20);
+  lib.set_wire_res_per_um(0.003);
+
+  // Drive strengths: _X1 small/slow, _X2 medium, _X4 large/fast.
+  lib.add_cell(make("BUF_X1", CellFunction::kBuf, 1, 0.39, 0.9, 16.0, 5.2, 0.8));
+  lib.add_cell(make("BUF_X2", CellFunction::kBuf, 1, 0.59, 1.7, 17.0, 2.7, 1.5));
+  lib.add_cell(make("BUF_X4", CellFunction::kBuf, 1, 0.98, 3.3, 18.0, 1.4, 2.9));
+  lib.add_cell(make("INV_X1", CellFunction::kInv, 1, 0.20, 1.0, 6.0, 4.8, 0.4));
+  lib.add_cell(make("INV_X2", CellFunction::kInv, 1, 0.29, 1.9, 6.5, 2.5, 0.8));
+  lib.add_cell(make("INV_X4", CellFunction::kInv, 1, 0.49, 3.7, 7.0, 1.3, 1.6));
+  lib.add_cell(make("NAND2_X1", CellFunction::kNand, 2, 0.39, 1.1, 9.0, 5.6, 0.7));
+  lib.add_cell(make("NAND2_X2", CellFunction::kNand, 2, 0.59, 2.1, 9.8, 2.9, 1.4));
+  lib.add_cell(make("NOR2_X1", CellFunction::kNor, 2, 0.39, 1.2, 10.5, 6.1, 0.7));
+  lib.add_cell(make("NOR2_X2", CellFunction::kNor, 2, 0.59, 2.3, 11.4, 3.2, 1.4));
+  lib.add_cell(make("AND2_X1", CellFunction::kAnd, 2, 0.59, 1.0, 18.0, 5.3, 0.9));
+  lib.add_cell(make("OR2_X1", CellFunction::kOr, 2, 0.59, 1.0, 19.0, 5.5, 0.9));
+  lib.add_cell(make("XOR2_X1", CellFunction::kXor, 2, 0.98, 1.8, 25.0, 6.4, 1.8));
+  lib.add_cell(make("XNOR2_X1", CellFunction::kXnor, 2, 0.98, 1.8, 25.5, 6.4, 1.8));
+  lib.add_cell(make("AOI21_X1", CellFunction::kAoi, 3, 0.59, 1.2, 14.0, 6.8, 1.0));
+  lib.add_cell(make("OAI21_X1", CellFunction::kOai, 3, 0.59, 1.2, 14.5, 6.9, 1.0));
+  lib.add_cell(make("MUX2_X1", CellFunction::kMux, 3, 1.17, 1.5, 28.0, 6.0, 2.0));
+  lib.add_cell(make("MAJ3_X1", CellFunction::kMaj, 3, 1.37, 1.6, 30.0, 6.6, 2.4));
+  return lib;
+}
+
+std::string_view to_string(CellFunction function) {
+  switch (function) {
+    case CellFunction::kBuf: return "BUF";
+    case CellFunction::kInv: return "INV";
+    case CellFunction::kAnd: return "AND";
+    case CellFunction::kOr: return "OR";
+    case CellFunction::kNand: return "NAND";
+    case CellFunction::kNor: return "NOR";
+    case CellFunction::kXor: return "XOR";
+    case CellFunction::kXnor: return "XNOR";
+    case CellFunction::kAoi: return "AOI";
+    case CellFunction::kOai: return "OAI";
+    case CellFunction::kMux: return "MUX";
+    case CellFunction::kMaj: return "MAJ";
+  }
+  return "?";
+}
+
+}  // namespace edacloud::nl

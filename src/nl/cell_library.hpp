@@ -1,0 +1,97 @@
+#pragma once
+// Standard-cell library abstraction. Models the subset of a Liberty (.lib)
+// file that the flow needs: per-cell area, input capacitance, and a linear
+// NLDM-style delay model (intrinsic delay + drive-resistance * load).
+//
+// A built-in "generic 14nm" library stands in for the GF 14nm node the paper
+// used (see DESIGN.md substitution table).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edacloud::nl {
+
+using CellId = std::uint32_t;
+constexpr CellId kInvalidCell = static_cast<CellId>(-1);
+
+/// Functional class of a cell — used for mapping, feature extraction and
+/// the instruction-mix model in perf instrumentation.
+enum class CellFunction : std::uint8_t {
+  kBuf,
+  kInv,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kAoi,   // AND-OR-invert complex gate
+  kOai,   // OR-AND-invert complex gate
+  kMux,
+  kMaj,   // majority / full-adder carry
+};
+
+/// Number of distinct CellFunction values (for one-hot feature encoding).
+constexpr int kCellFunctionCount = 12;
+
+struct Cell {
+  std::string name;
+  CellFunction function = CellFunction::kBuf;
+  int input_count = 1;
+  double area_um2 = 1.0;           // footprint in square microns
+  double input_cap_ff = 1.0;       // per-input capacitance, femtofarads
+  double intrinsic_delay_ps = 10;  // unloaded delay
+  double drive_res_kohm = 1.0;     // delay slope vs. load (ps per fF)
+  double leakage_nw = 1.0;         // leakage power, nanowatts
+
+  /// NLDM-lite: delay through the cell for a given output load (fF).
+  [[nodiscard]] double delay_ps(double load_ff) const {
+    return intrinsic_delay_ps + drive_res_kohm * load_ff;
+  }
+};
+
+/// A technology library: an immutable set of cells with name lookup.
+class CellLibrary {
+ public:
+  explicit CellLibrary(std::string name) : name_(std::move(name)) {}
+
+  /// Register a cell; returns its id. Names must be unique.
+  CellId add_cell(Cell cell);
+
+  [[nodiscard]] const Cell& cell(CellId id) const { return cells_[id]; }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::optional<CellId> find(std::string_view cell_name) const;
+
+  /// All cells implementing a given function, cheapest-area first.
+  [[nodiscard]] std::vector<CellId> cells_with_function(
+      CellFunction function) const;
+
+  /// Wire capacitance per micron of routed wirelength (fF/um).
+  [[nodiscard]] double wire_cap_per_um() const { return wire_cap_per_um_; }
+  void set_wire_cap_per_um(double cap) { wire_cap_per_um_ = cap; }
+
+  /// Wire resistance per micron (kohm/um) for Elmore-style delays.
+  [[nodiscard]] double wire_res_per_um() const { return wire_res_per_um_; }
+  void set_wire_res_per_um(double res) { wire_res_per_um_ = res; }
+
+ private:
+  std::string name_;
+  std::vector<Cell> cells_;
+  double wire_cap_per_um_ = 0.2;
+  double wire_res_per_um_ = 0.003;
+};
+
+/// Built-in generic 14nm-class library (substitute for the paper's GF14).
+/// Contains buffers/inverters at several drive strengths plus 2-input
+/// NAND/NOR/AND/OR/XOR/XNOR, 3-input AOI/OAI, MUX2 and MAJ3.
+CellLibrary make_generic_14nm_library();
+
+/// Short mnemonic for a function (e.g. "NAND").
+std::string_view to_string(CellFunction function);
+
+}  // namespace edacloud::nl

@@ -1,0 +1,69 @@
+#include "nl/dot.hpp"
+
+#include <sstream>
+
+namespace edacloud::nl {
+
+std::string write_dot(const Netlist& netlist) {
+  std::ostringstream out;
+  out << "digraph \"" << (netlist.name().empty() ? "netlist" : netlist.name())
+      << "\" {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    const NetlistNode& node = netlist.node(id);
+    switch (node.kind) {
+      case NodeKind::kPrimaryInput:
+        out << "  n" << id << " [shape=triangle, label=\"pi" << id
+            << "\"];\n";
+        break;
+      case NodeKind::kPrimaryOutput:
+        out << "  n" << id << " [shape=invhouse, label=\"po" << id
+            << "\"];\n";
+        break;
+      case NodeKind::kCell:
+        out << "  n" << id << " [shape=box, label=\""
+            << netlist.library().cell(node.cell).name << "\\ng" << id
+            << "\"];\n";
+        break;
+    }
+  }
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    for (NodeId fanin : netlist.node(id).fanins) {
+      out << "  n" << fanin << " -> n" << id << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string write_dot(const Aig& aig) {
+  std::ostringstream out;
+  out << "digraph \"" << (aig.name().empty() ? "aig" : aig.name())
+      << "\" {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  out << "  n0 [shape=plaintext, label=\"0\"];\n";
+  for (AigNode input : aig.inputs()) {
+    out << "  n" << input << " [shape=triangle, label=\"i" << input
+        << "\"];\n";
+  }
+  auto edge = [&out](Literal lit, AigNode to) {
+    out << "  n" << literal_node(lit) << " -> n" << to;
+    if (literal_complemented(lit)) out << " [style=dashed]";
+    out << ";\n";
+  };
+  for (AigNode node = 0; node < aig.node_count(); ++node) {
+    if (!aig.is_and(node)) continue;
+    out << "  n" << node << " [shape=ellipse, label=\"&" << node << "\"];\n";
+    edge(aig.fanin0(node), node);
+    edge(aig.fanin1(node), node);
+  }
+  for (std::size_t i = 0; i < aig.outputs().size(); ++i) {
+    const Literal lit = aig.outputs()[i];
+    out << "  o" << i << " [shape=invhouse, label=\"o" << i << "\"];\n";
+    out << "  n" << literal_node(lit) << " -> o" << i;
+    if (literal_complemented(lit)) out << " [style=dashed]";
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace edacloud::nl

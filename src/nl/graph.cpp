@@ -1,0 +1,85 @@
+#include "nl/graph.hpp"
+
+#include <algorithm>
+
+namespace edacloud::nl {
+
+Csr build_csr(std::size_t vertex_count,
+              const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  Csr csr;
+  csr.offsets.assign(vertex_count + 1, 0);
+  for (const auto& [from, to] : edges) {
+    (void)to;
+    ++csr.offsets[from + 1];
+  }
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    csr.offsets[v + 1] += csr.offsets[v];
+  }
+  csr.targets.resize(edges.size());
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (const auto& [from, to] : edges) {
+    csr.targets[cursor[from]++] = to;
+  }
+  return csr;
+}
+
+Csr transpose(const Csr& graph) {
+  std::vector<std::pair<VertexId, VertexId>> reversed;
+  reversed.reserve(graph.edge_count());
+  for (VertexId v = 0; v < graph.vertex_count(); ++v) {
+    const auto [begin, end] = graph.range(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      reversed.emplace_back(graph.targets[e], v);
+    }
+  }
+  return build_csr(graph.vertex_count(), reversed);
+}
+
+std::vector<VertexId> topological_order(const Csr& graph) {
+  const std::size_t n = graph.vertex_count();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (VertexId target : graph.targets) ++indegree[target];
+
+  std::vector<VertexId> frontier;
+  frontier.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  // Frontier used as a stack; order validity doesn't depend on pop order.
+  while (!frontier.empty()) {
+    const VertexId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    const auto [begin, end] = graph.range(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const VertexId next = graph.targets[e];
+      if (--indegree[next] == 0) frontier.push_back(next);
+    }
+  }
+  if (order.size() != n) order.clear();  // cycle detected
+  return order;
+}
+
+std::vector<std::uint32_t> longest_path_levels(const Csr& graph) {
+  const auto order = topological_order(graph);
+  if (order.empty() && graph.vertex_count() != 0) return {};
+  std::vector<std::uint32_t> level(graph.vertex_count(), 0);
+  for (VertexId v : order) {
+    const auto [begin, end] = graph.range(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const VertexId next = graph.targets[e];
+      level[next] = std::max(level[next], level[v] + 1);
+    }
+  }
+  return level;
+}
+
+bool is_dag(const Csr& graph) {
+  return graph.vertex_count() == 0 || !topological_order(graph).empty();
+}
+
+}  // namespace edacloud::nl

@@ -1,0 +1,52 @@
+#pragma once
+// Generic directed-graph utilities shared by the netlist, the star-model
+// extraction, and the GCN front end: CSR adjacency, transpose, topological
+// ordering and longest-path levelization.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace edacloud::nl {
+
+using VertexId = std::uint32_t;
+
+/// Compressed sparse row adjacency for a directed graph.
+struct Csr {
+  std::vector<std::uint32_t> offsets;  // size = vertex_count + 1
+  std::vector<VertexId> targets;       // size = edge_count
+
+  [[nodiscard]] std::size_t vertex_count() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  [[nodiscard]] std::size_t edge_count() const { return targets.size(); }
+
+  /// Out-neighbors of v as a [begin, end) pair of indices into targets.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> range(
+      VertexId v) const {
+    return {offsets[v], offsets[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t degree(VertexId v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+};
+
+/// Build CSR from an edge list over `vertex_count` vertices.
+Csr build_csr(std::size_t vertex_count,
+              const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+/// Reverse every edge.
+Csr transpose(const Csr& graph);
+
+/// Kahn topological order. Returns empty vector if the graph has a cycle
+/// (callers treat that as a validation failure).
+std::vector<VertexId> topological_order(const Csr& graph);
+
+/// Longest-path level per vertex (sources at level 0); requires a DAG.
+/// Returns empty vector on cycle.
+std::vector<std::uint32_t> longest_path_levels(const Csr& graph);
+
+/// True iff the graph is acyclic.
+bool is_dag(const Csr& graph);
+
+}  // namespace edacloud::nl

@@ -1,0 +1,40 @@
+#pragma once
+// Liberty-lite (.lib) interchange for cell libraries. Real flows receive
+// their timing libraries as Liberty files; this implements the subset the
+// engines consume — per-cell area, leakage, input capacitance and the
+// linear delay model — using genuine Liberty syntax so the files are
+// readable by (and roughly compatible with) standard tooling:
+//
+//   library (generic14) {
+//     wire_cap_per_um : 0.20;
+//     wire_res_per_um : 0.003;
+//     cell (NAND2_X1) {
+//       function : "NAND";
+//       area : 0.39;
+//       cell_leakage_power : 0.7;
+//       pin_count : 2;
+//       input_capacitance : 1.1;
+//       intrinsic_delay : 9.0;
+//       drive_resistance : 5.6;
+//     }
+//   }
+
+#include <string>
+
+#include "nl/cell_library.hpp"
+
+namespace edacloud::nl {
+
+/// Serialize a library in the Liberty-lite dialect above.
+std::string write_liberty(const CellLibrary& library);
+
+struct LibertyParseResult {
+  bool ok = false;
+  std::string error;
+  CellLibrary library{""};
+};
+
+/// Parse the Liberty-lite dialect back into a CellLibrary.
+LibertyParseResult parse_liberty(const std::string& text);
+
+}  // namespace edacloud::nl

@@ -1,0 +1,135 @@
+#include "nl/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edacloud::nl {
+
+NodeId Netlist::add_input() {
+  NetlistNode node;
+  node.kind = NodeKind::kPrimaryInput;
+  nodes_.push_back(std::move(node));
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_output(NodeId source) {
+  if (source >= nodes_.size()) {
+    throw std::out_of_range("output source does not exist");
+  }
+  NetlistNode node;
+  node.kind = NodeKind::kPrimaryOutput;
+  node.fanins = {source};
+  nodes_.push_back(std::move(node));
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  outputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_cell(CellId cell, std::vector<NodeId> fanins) {
+  if (cell >= library_->size()) {
+    throw std::out_of_range("cell id not in library");
+  }
+  const Cell& proto = library_->cell(cell);
+  if (static_cast<int>(fanins.size()) != proto.input_count) {
+    throw std::invalid_argument("fanin arity mismatch for cell " + proto.name);
+  }
+  for (NodeId fanin : fanins) {
+    if (fanin >= nodes_.size()) {
+      throw std::out_of_range("fanin node does not exist");
+    }
+  }
+  NetlistNode node;
+  node.kind = NodeKind::kCell;
+  node.cell = cell;
+  node.fanins = std::move(fanins);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+Csr Netlist::build_fanout_csr() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(nodes_.size() * 2);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId fanin : nodes_[id].fanins) {
+      edges.emplace_back(fanin, id);
+    }
+  }
+  return build_csr(nodes_.size(), edges);
+}
+
+std::vector<NodeId> Netlist::topological_order() const {
+  return nl::topological_order(build_fanout_csr());
+}
+
+std::vector<std::uint32_t> Netlist::levels() const {
+  return longest_path_levels(build_fanout_csr());
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+  std::vector<std::uint32_t> counts(nodes_.size(), 0);
+  for (const NetlistNode& node : nodes_) {
+    for (NodeId fanin : node.fanins) ++counts[fanin];
+  }
+  return counts;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats stats;
+  stats.input_count = inputs_.size();
+  stats.output_count = outputs_.size();
+  const auto fanouts = fanout_counts();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const NetlistNode& node = nodes_[id];
+    stats.pin_count += node.fanins.size();
+    if (fanouts[id] > 0) ++stats.net_count;
+    if (node.kind == NodeKind::kCell) {
+      ++stats.instance_count;
+      stats.total_area_um2 += library_->cell(node.cell).area_um2;
+    }
+  }
+  const auto node_levels = levels();
+  for (std::uint32_t level : node_levels) {
+    stats.logic_depth = std::max(stats.logic_depth, level);
+  }
+  return stats;
+}
+
+bool Netlist::validate(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const NetlistNode& node = nodes_[id];
+    switch (node.kind) {
+      case NodeKind::kPrimaryInput:
+        if (!node.fanins.empty()) return fail("PI with fanins");
+        break;
+      case NodeKind::kPrimaryOutput:
+        if (node.fanins.size() != 1) return fail("PO without single fanin");
+        break;
+      case NodeKind::kCell: {
+        if (node.cell >= library_->size()) return fail("bad cell id");
+        const Cell& proto = library_->cell(node.cell);
+        if (static_cast<int>(node.fanins.size()) != proto.input_count) {
+          return fail("fanin arity mismatch on instance");
+        }
+        break;
+      }
+    }
+    for (NodeId fanin : node.fanins) {
+      if (fanin >= nodes_.size()) return fail("dangling fanin");
+      if (nodes_[fanin].kind == NodeKind::kPrimaryOutput) {
+        return fail("primary output used as driver");
+      }
+    }
+  }
+  if (!nodes_.empty() && topological_order().empty()) {
+    return fail("combinational cycle");
+  }
+  return true;
+}
+
+}  // namespace edacloud::nl

@@ -1,0 +1,98 @@
+#pragma once
+// Gate-level netlist. Nodes are primary inputs, primary outputs, or cell
+// instances from a CellLibrary. Nets are implicit single-driver hyperedges:
+// the net driven by node u consists of u plus every node that lists u as a
+// fanin. This is exactly the structure the paper's star model expands into
+// directed edges (driver -> each sink).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nl/cell_library.hpp"
+#include "nl/graph.hpp"
+
+namespace edacloud::nl {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+enum class NodeKind : std::uint8_t {
+  kPrimaryInput,
+  kPrimaryOutput,
+  kCell,
+};
+
+struct NetlistNode {
+  NodeKind kind = NodeKind::kCell;
+  CellId cell = kInvalidCell;      // valid iff kind == kCell
+  std::vector<NodeId> fanins;      // driver node per input pin
+};
+
+struct NetlistStats {
+  std::size_t input_count = 0;
+  std::size_t output_count = 0;
+  std::size_t instance_count = 0;  // cell instances only
+  std::size_t net_count = 0;       // driven nets (nodes with >=1 sink)
+  std::size_t pin_count = 0;       // total fanin connections
+  std::uint32_t logic_depth = 0;   // longest PI->PO path in cell stages
+  double total_area_um2 = 0.0;
+};
+
+class Netlist {
+ public:
+  /// Empty placeholder (no library); only assignment and destruction are
+  /// valid until a real netlist is move-assigned in.
+  Netlist() : library_(nullptr) {}
+
+  Netlist(std::string name, const CellLibrary* library)
+      : name_(std::move(name)), library_(library) {}
+
+  // ---- construction -------------------------------------------------------
+  NodeId add_input();
+  /// A primary output observing `source`.
+  NodeId add_output(NodeId source);
+  /// A cell instance; fanins.size() must equal the cell's input_count.
+  NodeId add_cell(CellId cell, std::vector<NodeId> fanins);
+
+  // ---- access --------------------------------------------------------------
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const CellLibrary& library() const { return *library_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const NetlistNode& node(NodeId id) const { return nodes_[id]; }
+  [[nodiscard]] const std::vector<NodeId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  [[nodiscard]] bool is_cell(NodeId id) const {
+    return nodes_[id].kind == NodeKind::kCell;
+  }
+
+  /// Fanout adjacency (driver -> sinks), i.e. the star-model edges.
+  [[nodiscard]] Csr build_fanout_csr() const;
+  /// Fanin adjacency as CSR (sink -> drivers reversed: driver -> sink edges).
+  [[nodiscard]] Csr build_forward_csr() const { return build_fanout_csr(); }
+
+  /// Topological order over all nodes (PIs first). Empty if cyclic.
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Longest-path level per node (PIs at level 0). Empty if cyclic.
+  [[nodiscard]] std::vector<std::uint32_t> levels() const;
+
+  /// Per-node fanout count.
+  [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+
+  [[nodiscard]] NetlistStats stats() const;
+
+  /// Structural sanity: fanin arity matches the library, fanins reference
+  /// existing non-PO nodes, POs have exactly one fanin, DAG holds.
+  [[nodiscard]] bool validate(std::string* error = nullptr) const;
+
+ private:
+  std::string name_;
+  const CellLibrary* library_;
+  std::vector<NetlistNode> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+};
+
+}  // namespace edacloud::nl

@@ -1,0 +1,80 @@
+#include "nl/netlist_sim.hpp"
+
+#include <stdexcept>
+
+namespace edacloud::nl {
+
+namespace {
+
+std::uint64_t eval_cell(CellFunction function,
+                        const std::vector<std::uint64_t>& in) {
+  switch (function) {
+    case CellFunction::kBuf:
+      return in[0];
+    case CellFunction::kInv:
+      return ~in[0];
+    case CellFunction::kAnd:
+      return in[0] & in[1];
+    case CellFunction::kOr:
+      return in[0] | in[1];
+    case CellFunction::kNand:
+      return ~(in[0] & in[1]);
+    case CellFunction::kNor:
+      return ~(in[0] | in[1]);
+    case CellFunction::kXor:
+      return in[0] ^ in[1];
+    case CellFunction::kXnor:
+      return ~(in[0] ^ in[1]);
+    case CellFunction::kAoi:
+      return ~((in[0] & in[1]) | in[2]);
+    case CellFunction::kOai:
+      return ~((in[0] | in[1]) & in[2]);
+    case CellFunction::kMux:
+      return (in[0] & in[1]) | (~in[0] & in[2]);
+    case CellFunction::kMaj:
+      return (in[0] & in[1]) | (in[0] & in[2]) | (in[1] & in[2]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate_nodes(
+    const Netlist& netlist, const std::vector<std::uint64_t>& input_words) {
+  if (input_words.size() != netlist.inputs().size()) {
+    throw std::invalid_argument("simulate: one word per primary input");
+  }
+  std::vector<std::uint64_t> value(netlist.node_count(), 0);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+    value[netlist.inputs()[i]] = input_words[i];
+  }
+  const auto order = netlist.topological_order();
+  if (order.empty() && netlist.node_count() != 0) {
+    throw std::invalid_argument("simulate: netlist has a cycle");
+  }
+  std::vector<std::uint64_t> fanin_values;
+  for (NodeId id : order) {
+    const NetlistNode& node = netlist.node(id);
+    if (node.kind == NodeKind::kPrimaryInput) continue;
+    fanin_values.clear();
+    for (NodeId fanin : node.fanins) fanin_values.push_back(value[fanin]);
+    if (node.kind == NodeKind::kPrimaryOutput) {
+      value[id] = fanin_values[0];
+    } else {
+      value[id] = eval_cell(netlist.library().cell(node.cell).function,
+                            fanin_values);
+    }
+  }
+  return value;
+}
+
+std::vector<std::uint64_t> simulate(
+    const Netlist& netlist, const std::vector<std::uint64_t>& input_words) {
+  const auto value = simulate_nodes(netlist, input_words);
+  std::vector<std::uint64_t> out;
+  out.reserve(netlist.outputs().size());
+  for (NodeId id : netlist.outputs()) out.push_back(value[id]);
+  return out;
+}
+
+}  // namespace edacloud::nl

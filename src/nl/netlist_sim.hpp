@@ -1,0 +1,27 @@
+#pragma once
+// 64-way bit-parallel functional simulation of a gate-level netlist.
+// Used by tests to prove the technology mapper preserved the AIG's logic
+// function (synthesis correctness) — pin-order conventions:
+//   AOI21(a,b,c) = !((a&b)|c)
+//   OAI21(a,b,c) = !((a|b)&c)
+//   MUX2(s,t,f)  = s ? t : f
+//   MAJ3(a,b,c)  = majority
+
+#include <cstdint>
+#include <vector>
+
+#include "nl/netlist.hpp"
+
+namespace edacloud::nl {
+
+/// input_words[i] supplies 64 patterns for inputs()[i]; returns one word per
+/// primary output, in outputs() order.
+std::vector<std::uint64_t> simulate(const Netlist& netlist,
+                                    const std::vector<std::uint64_t>& input_words);
+
+/// Same evaluation, but returns the value word of EVERY node (indexed by
+/// NodeId) — used by the simulation job for toggle/activity accounting.
+std::vector<std::uint64_t> simulate_nodes(
+    const Netlist& netlist, const std::vector<std::uint64_t>& input_words);
+
+}  // namespace edacloud::nl

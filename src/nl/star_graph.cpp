@@ -1,0 +1,112 @@
+#include "nl/star_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edacloud::nl {
+
+namespace {
+
+double* row(DesignGraph& graph, std::size_t node) {
+  return graph.features.data() + node * kNodeFeatureDim;
+}
+
+void fill_common(double* features, double fanin_count, double fanout_count,
+                 double level, double max_depth) {
+  features[15] = fanin_count / 4.0;
+  features[16] = std::log1p(fanout_count);
+  features[17] = level / std::max(max_depth, 1.0);
+  features[19] = 1.0;
+}
+
+}  // namespace
+
+DesignGraph graph_from_netlist(const Netlist& netlist) {
+  DesignGraph graph;
+  graph.forward = netlist.build_fanout_csr();
+  graph.features.assign(netlist.node_count() * kNodeFeatureDim, 0.0);
+
+  const auto levels = netlist.levels();
+  const auto fanouts = netlist.fanout_counts();
+  double max_depth = 0.0;
+  for (std::uint32_t level : levels) {
+    max_depth = std::max(max_depth, static_cast<double>(level));
+  }
+
+  for (NodeId id = 0; id < netlist.node_count(); ++id) {
+    const NetlistNode& node = netlist.node(id);
+    double* features = row(graph, id);
+    switch (node.kind) {
+      case NodeKind::kPrimaryInput:
+        features[0] = 1.0;
+        break;
+      case NodeKind::kPrimaryOutput:
+        features[1] = 1.0;
+        break;
+      case NodeKind::kCell: {
+        const auto function =
+            netlist.library().cell(node.cell).function;
+        features[3 + static_cast<int>(function)] = 1.0;
+        break;
+      }
+    }
+    fill_common(features, static_cast<double>(node.fanins.size()),
+                static_cast<double>(fanouts[id]),
+                static_cast<double>(levels.empty() ? 0 : levels[id]),
+                max_depth);
+  }
+  return graph;
+}
+
+DesignGraph graph_from_aig(const Aig& aig) {
+  DesignGraph graph;
+  graph.forward = aig.build_forward_csr();
+  graph.features.assign(aig.node_count() * kNodeFeatureDim, 0.0);
+
+  const auto levels = aig.levels();
+  const auto fanouts = aig.fanout_counts();
+  double max_depth = 0.0;
+  for (std::uint32_t level : levels) {
+    max_depth = std::max(max_depth, static_cast<double>(level));
+  }
+
+  for (AigNode node = 0; node < aig.node_count(); ++node) {
+    double* features = row(graph, node);
+    double fanin_count = 0.0;
+    if (aig.is_input(node)) {
+      features[0] = 1.0;
+    } else if (aig.is_and(node)) {
+      features[2] = 1.0;
+      fanin_count = 2.0;
+      int complemented = 0;
+      if (literal_complemented(aig.fanin0(node))) ++complemented;
+      if (literal_complemented(aig.fanin1(node))) ++complemented;
+      features[18] = complemented / 2.0;
+    }
+    fill_common(features, fanin_count, static_cast<double>(fanouts[node]),
+                static_cast<double>(levels[node]), max_depth);
+  }
+  return graph;
+}
+
+GraphSummary summarize(const DesignGraph& graph) {
+  GraphSummary summary;
+  summary.node_count = graph.node_count();
+  summary.edge_count = graph.forward.edge_count();
+  if (summary.node_count == 0) return summary;
+
+  const auto levels = longest_path_levels(graph.forward);
+  for (std::uint32_t level : levels) {
+    summary.depth = std::max(summary.depth, level);
+  }
+  double total_fanout = 0.0;
+  for (VertexId v = 0; v < graph.node_count(); ++v) {
+    const double degree = graph.forward.degree(v);
+    total_fanout += degree;
+    summary.max_fanout = std::max(summary.max_fanout, degree);
+  }
+  summary.avg_fanout = total_fanout / static_cast<double>(summary.node_count);
+  return summary;
+}
+
+}  // namespace edacloud::nl

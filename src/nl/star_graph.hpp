@@ -1,0 +1,60 @@
+#pragma once
+// ML-facing graph extraction — §III-B "Processing Input Design".
+//
+// For synthesis-runtime prediction the GCN operates on the AIG (already a
+// DAG). For placement/routing/STA prediction it operates on the netlist,
+// where cells and I/O pins become graph nodes and each net is expanded with
+// the star model: one directed edge from the driving cell (or input pin)
+// towards each sink (or output pin).
+
+#include <cstdint>
+#include <vector>
+
+#include "nl/aig.hpp"
+#include "nl/graph.hpp"
+#include "nl/netlist.hpp"
+
+namespace edacloud::nl {
+
+/// Per-node feature layout (kept identical for AIG- and netlist-derived
+/// graphs so one GCN architecture serves all four applications):
+///   [0]  is primary input
+///   [1]  is primary output
+///   [2]  is AIG AND node
+///   [3..14] one-hot cell function (12 classes, netlist cells only)
+///   [15] fanin count / 4
+///   [16] log1p(fanout count)
+///   [17] level / max(depth, 1)
+///   [18] fraction of complemented fanins (AIG only)
+///   [19] constant 1 (bias channel)
+constexpr int kNodeFeatureDim = 20;
+
+struct DesignGraph {
+  Csr forward;                  // direction-preserving edges
+  std::vector<double> features; // row-major node_count x kNodeFeatureDim
+  [[nodiscard]] std::size_t node_count() const {
+    return forward.vertex_count();
+  }
+  [[nodiscard]] const double* feature_row(std::size_t node) const {
+    return features.data() + node * kNodeFeatureDim;
+  }
+};
+
+/// Star-model expansion of a netlist into a DesignGraph.
+DesignGraph graph_from_netlist(const Netlist& netlist);
+
+/// Direct DAG view of an AIG as a DesignGraph.
+DesignGraph graph_from_aig(const Aig& aig);
+
+/// Scalar structural summary used by analytic baselines and tests.
+struct GraphSummary {
+  std::size_t node_count = 0;
+  std::size_t edge_count = 0;
+  std::uint32_t depth = 0;
+  double avg_fanout = 0.0;
+  double max_fanout = 0.0;
+};
+
+GraphSummary summarize(const DesignGraph& graph);
+
+}  // namespace edacloud::nl

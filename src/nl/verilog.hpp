@@ -1,0 +1,36 @@
+#pragma once
+// Structural Verilog interchange for gate-level netlists. The writer emits
+// one flat module instantiating library cells (pin order A, B, C / Y for
+// the output); the parser accepts the same subset back, so netlists can
+// round-trip through standard EDA tooling.
+//
+// Supported subset (deliberately small and strict):
+//   module NAME (port, ...);
+//   input a; output y; wire n1;           // one declaration per statement
+//   CELL  inst (.A(a), .B(n1), .Y(y));    // named pin connections only
+//   assign y = n1;                        // PO aliasing
+//   endmodule
+
+#include <optional>
+#include <string>
+
+#include "nl/netlist.hpp"
+
+namespace edacloud::nl {
+
+/// Serialize `netlist` as structural Verilog.
+std::string write_verilog(const Netlist& netlist);
+
+struct VerilogParseResult {
+  bool ok = false;
+  std::string error;      // populated when !ok
+  Netlist netlist;        // valid when ok
+};
+
+/// Parse the structural subset back into a netlist over `library`.
+/// Cells are resolved by name; unknown cells or malformed syntax fail
+/// with a line-numbered diagnostic.
+VerilogParseResult parse_verilog(const std::string& text,
+                                 const CellLibrary& library);
+
+}  // namespace edacloud::nl

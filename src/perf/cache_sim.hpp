@@ -1,0 +1,85 @@
+#pragma once
+// Set-associative LRU cache simulator and a two-level (L1 + LLC) hierarchy.
+// Stands in for the hardware performance counters the paper read with
+// `perf` (cache-references / cache-misses).
+
+#include <cstdint>
+#include <vector>
+
+namespace edacloud::perf {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// Set-associative cache with true-LRU replacement. Address space is a
+/// flat 64-bit byte space; tags are derived from line addresses.
+class CacheSim {
+ public:
+  /// size/line must be powers of two; ways >= 1. size >= line * ways.
+  CacheSim(std::uint64_t size_bytes, std::uint32_t line_bytes,
+           std::uint32_t ways);
+
+  /// Simulate one access; returns true on hit. Fills on miss.
+  bool access(std::uint64_t address) { return access_impl(address, true); }
+
+  /// State-only access (no stats) — used for phantom co-runner traffic that
+  /// occupies capacity but is not part of the measured stream.
+  void touch(std::uint64_t address) { access_impl(address, false); }
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t size_bytes() const { return size_bytes_; }
+  [[nodiscard]] std::uint32_t line_bytes() const { return line_bytes_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ private:
+  bool access_impl(std::uint64_t address, bool count_stats);
+
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint32_t lru = 0;  // higher = more recently used
+  };
+
+  std::uint64_t size_bytes_;
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint32_t set_count_;
+  std::uint32_t line_shift_;
+  std::vector<Way> sets_;  // set-major layout, ways_ entries per set
+  std::uint32_t lru_clock_ = 0;
+  CacheStats stats_;
+};
+
+/// L1 -> LLC hierarchy: LLC sees only L1 misses.
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(std::uint64_t l1_bytes, std::uint64_t llc_bytes);
+
+  /// Returns 0 on L1 hit, 1 on LLC hit, 2 on memory access.
+  int access(std::uint64_t address);
+
+  /// Thread-private access: the L1 probe uses the un-offset address (each
+  /// worker core owns a private L1, so per-worker locality is unchanged),
+  /// while the shared LLC sees the worker-offset address (aggregate private
+  /// footprint grows with worker count).
+  int access_private(std::uint64_t l1_address, std::uint64_t llc_address);
+
+  /// Phantom co-runner traffic: contends for LLC capacity only (L1 caches
+  /// are private per vCPU) and leaves the measured stats untouched.
+  void interfere(std::uint64_t address);
+
+  [[nodiscard]] const CacheStats& l1() const { return l1_.stats(); }
+  [[nodiscard]] const CacheStats& llc() const { return llc_.stats(); }
+
+ private:
+  CacheSim l1_;
+  CacheSim llc_;
+};
+
+}  // namespace edacloud::perf

@@ -1,0 +1,66 @@
+#pragma once
+// Aggregate hardware-counter snapshot for one job on one VM configuration —
+// the simulated analog of a `perf stat` readout.
+
+#include <cstdint>
+
+namespace edacloud::perf {
+
+struct OpCounts {
+  std::uint64_t int_ops = 0;
+  std::uint64_t fp_ops = 0;    // scalar floating point
+  std::uint64_t avx_ops = 0;   // vectorizable floating point (AVX lanes)
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t l1_accesses = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t llc_accesses = 0;
+  std::uint64_t llc_misses = 0;
+
+  [[nodiscard]] std::uint64_t total_ops() const {
+    return int_ops + fp_ops + avx_ops;
+  }
+  [[nodiscard]] double branch_miss_rate() const {
+    return branches == 0 ? 0.0
+                         : static_cast<double>(branch_misses) /
+                               static_cast<double>(branches);
+  }
+  [[nodiscard]] double l1_miss_rate() const {
+    return l1_accesses == 0 ? 0.0
+                            : static_cast<double>(l1_misses) /
+                                  static_cast<double>(l1_accesses);
+  }
+  /// The "cache misses" percentage the paper reports (LLC behaviour).
+  [[nodiscard]] double llc_miss_rate() const {
+    return llc_accesses == 0 ? 0.0
+                             : static_cast<double>(llc_misses) /
+                                   static_cast<double>(llc_accesses);
+  }
+  /// Fraction of all arithmetic that ran on AVX hardware (Fig. 2c).
+  [[nodiscard]] double avx_fraction() const {
+    const std::uint64_t total = total_ops();
+    return total == 0 ? 0.0
+                      : static_cast<double>(avx_ops) /
+                            static_cast<double>(total);
+  }
+
+  /// LLC misses per thousand operations (MPKI analog over ops).
+  [[nodiscard]] double llc_mpko() const {
+    const std::uint64_t total = total_ops();
+    return total == 0 ? 0.0
+                      : 1000.0 * static_cast<double>(llc_misses) /
+                            static_cast<double>(total);
+  }
+
+  /// Branch density: branches per operation.
+  [[nodiscard]] double branch_density() const {
+    const std::uint64_t total = total_ops();
+    return total == 0 ? 0.0
+                      : static_cast<double>(branches) /
+                            static_cast<double>(total);
+  }
+};
+
+}  // namespace edacloud::perf

@@ -1,0 +1,66 @@
+#include "perf/runtime_model.hpp"
+
+#include <stdexcept>
+
+namespace edacloud::perf {
+
+double estimate_cycles(const OpCounts& counts, const VmConfig& config,
+                       const RuntimeModelParams& params) {
+  const double avx_cpi = config.has_avx
+                             ? params.cpi_avx
+                             : params.cpi_avx * params.avx_fallback_factor;
+  double cycles = 0.0;
+  cycles += static_cast<double>(counts.int_ops) * params.cpi_int;
+  cycles += static_cast<double>(counts.fp_ops) * params.cpi_fp;
+  cycles += static_cast<double>(counts.avx_ops) * avx_cpi;
+  cycles += static_cast<double>(counts.l1_misses) * params.l1_miss_cycles;
+  cycles += static_cast<double>(counts.llc_misses) * params.llc_miss_cycles;
+  cycles +=
+      static_cast<double>(counts.branch_misses) * params.branch_miss_cycles;
+  return cycles;
+}
+
+double estimate_runtime_seconds(const JobProfile& profile, std::size_t index,
+                                const RuntimeModelParams& params) {
+  if (index >= profile.configs.size() || index >= profile.counts.size()) {
+    throw std::out_of_range("config index out of range");
+  }
+  const VmConfig& config = profile.configs[index];
+  const double cycles =
+      estimate_cycles(profile.counts[index], config, params);
+  const double serial_seconds = cycles / (config.clock_ghz * 1e9);
+
+  double parallel_factor = 1.0;
+  if (profile.tasks.task_count() > 0 && profile.tasks.total_work() > 0.0) {
+    parallel_factor =
+        profile.tasks.makespan(config.vcpus) / profile.tasks.total_work();
+  }
+  return serial_seconds * parallel_factor * params.time_scale;
+}
+
+JobMeasurement measure(const JobProfile& profile,
+                       const RuntimeModelParams& params) {
+  JobMeasurement out;
+  out.job = profile.job;
+  out.configs = profile.configs;
+  const std::size_t n = profile.configs.size();
+  out.runtime_seconds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.runtime_seconds.push_back(
+        estimate_runtime_seconds(profile, i, params));
+    const OpCounts& counts = profile.counts[i];
+    out.branch_miss_rate.push_back(counts.branch_miss_rate());
+    out.llc_miss_rate.push_back(counts.llc_miss_rate());
+    out.avx_fraction.push_back(counts.avx_fraction());
+  }
+  out.speedup.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = out.runtime_seconds.empty() ? 0.0
+                                                    : out.runtime_seconds[0];
+    out.speedup.push_back(
+        out.runtime_seconds[i] == 0.0 ? 1.0 : base / out.runtime_seconds[i]);
+  }
+  return out;
+}
+
+}  // namespace edacloud::perf

@@ -1,0 +1,69 @@
+#pragma once
+// Converts counter snapshots + the engine's task graph into a predicted
+// wall-clock runtime per VM configuration. This is the simulated analog of
+// the paper's measured runtimes (Table I's "Runtime (sec.)" row).
+//
+// cycles = Σ op_class * CPI_class
+//        + l1_misses * LLC_latency + llc_misses * DRAM_latency
+//        + branch_misses * pipeline_flush
+// runtime(k vCPUs) = cycles / clock * makespan(k) / total_work
+//
+// The task-graph ratio carries the parallel-efficiency curve; the counter
+// term carries the configuration-dependent memory behaviour.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "perf/counters.hpp"
+#include "perf/task_graph.hpp"
+#include "perf/vm.hpp"
+
+namespace edacloud::perf {
+
+struct RuntimeModelParams {
+  double cpi_int = 0.5;
+  double cpi_fp = 1.0;
+  /// Per-element cost of vectorizable FP when AVX hardware is present.
+  double cpi_avx = 0.25;
+  /// Slowdown multiplier for AVX-class work on non-AVX hardware.
+  double avx_fallback_factor = 4.0;
+  double l1_miss_cycles = 10.0;    // LLC hit latency
+  double llc_miss_cycles = 25.0;   // DRAM latency (scaled caches)
+  double branch_miss_cycles = 16.0;
+  /// Linear scale applied to all runtimes; calibrates the simulated designs
+  /// to commercial-tool wall-clock magnitudes (documented in EXPERIMENTS.md).
+  double time_scale = 1.0;
+};
+
+/// Result of one instrumented engine run, measured against a VM ladder.
+struct JobProfile {
+  std::string job;                 // "synthesis" | "placement" | ...
+  std::vector<VmConfig> configs;   // candidate configurations
+  std::vector<OpCounts> counts;    // one per config
+  TaskGraph tasks;                 // engine's parallel decomposition
+};
+
+/// Total core cycles for one configuration's counter snapshot.
+double estimate_cycles(const OpCounts& counts, const VmConfig& config,
+                       const RuntimeModelParams& params);
+
+/// Runtime (seconds) of the profiled job on configs[index].
+double estimate_runtime_seconds(const JobProfile& profile, std::size_t index,
+                                const RuntimeModelParams& params);
+
+/// Fully-evaluated characterization record for one job (Fig. 2 row).
+struct JobMeasurement {
+  std::string job;
+  std::vector<VmConfig> configs;
+  std::vector<double> runtime_seconds;
+  std::vector<double> speedup;           // vs configs[0]
+  std::vector<double> branch_miss_rate;
+  std::vector<double> llc_miss_rate;
+  std::vector<double> avx_fraction;
+};
+
+JobMeasurement measure(const JobProfile& profile,
+                       const RuntimeModelParams& params);
+
+}  // namespace edacloud::perf

@@ -1,0 +1,109 @@
+#include "perf/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace edacloud::perf {
+
+TaskId TaskGraph::add_task(double cost, const std::vector<TaskId>& deps) {
+  if (cost < 0.0) throw std::invalid_argument("negative task cost");
+  const auto id = static_cast<TaskId>(costs_.size());
+  for (TaskId dep : deps) {
+    if (dep >= id) throw std::invalid_argument("dependency on future task");
+  }
+  costs_.push_back(cost);
+  deps_.push_back(deps);
+  children_.emplace_back();
+  for (TaskId dep : deps) children_[dep].push_back(id);
+  total_work_ += cost;
+  return id;
+}
+
+std::vector<double> TaskGraph::downstream_priority() const {
+  // Longest path from each task to a sink, including own cost. Task ids are
+  // topologically ordered by construction, so a reverse sweep suffices.
+  std::vector<double> priority(costs_.size(), 0.0);
+  for (std::size_t i = costs_.size(); i-- > 0;) {
+    double best_child = 0.0;
+    for (TaskId child : children_[i]) {
+      best_child = std::max(best_child, priority[child]);
+    }
+    priority[i] = costs_[i] + best_child;
+  }
+  return priority;
+}
+
+double TaskGraph::critical_path() const {
+  const auto priority = downstream_priority();
+  double longest = 0.0;
+  for (std::size_t i = 0; i < priority.size(); ++i) {
+    if (deps_[i].empty()) longest = std::max(longest, priority[i]);
+  }
+  return longest;
+}
+
+double TaskGraph::makespan(int workers) const {
+  if (workers <= 0) throw std::invalid_argument("workers must be positive");
+  if (costs_.empty()) return 0.0;
+  if (workers == 1) return total_work_;
+
+  const auto priority = downstream_priority();
+
+  // Ready queue ordered by critical-path priority (largest first).
+  auto ready_less = [&priority](TaskId a, TaskId b) {
+    return priority[a] < priority[b];
+  };
+  std::priority_queue<TaskId, std::vector<TaskId>, decltype(ready_less)>
+      ready(ready_less);
+
+  std::vector<std::uint32_t> open_deps(costs_.size());
+  for (std::size_t i = 0; i < costs_.size(); ++i) {
+    open_deps[i] = static_cast<std::uint32_t>(deps_[i].size());
+    if (open_deps[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+
+  // Event-driven simulation: (finish_time, task) min-heap of running tasks.
+  using Running = std::pair<double, TaskId>;
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  double now = 0.0;
+  double makespan = 0.0;
+  int busy = 0;
+
+  auto drain_one = [&]() {
+    const auto [finish, task] = running.top();
+    running.pop();
+    now = finish;
+    makespan = std::max(makespan, finish);
+    --busy;
+    for (TaskId child : children_[task]) {
+      if (--open_deps[child] == 0) ready.push(child);
+    }
+  };
+
+  std::size_t completed = 0;
+  while (completed < costs_.size()) {
+    // Launch as many ready tasks as workers allow.
+    while (busy < workers && !ready.empty()) {
+      const TaskId task = ready.top();
+      ready.pop();
+      running.emplace(now + costs_[task], task);
+      ++busy;
+    }
+    if (running.empty()) {
+      // No runnable work left: every remaining task is unreachable, which
+      // the constructor's forward-dependency check rules out.
+      break;
+    }
+    drain_one();
+    ++completed;
+  }
+  return makespan;
+}
+
+double TaskGraph::speedup(int workers) const {
+  const double span = makespan(workers);
+  return span == 0.0 ? 1.0 : total_work_ / span;
+}
+
+}  // namespace edacloud::perf

@@ -1,0 +1,46 @@
+#pragma once
+// Task-level parallelism model. Each EDA engine decomposes its work into a
+// DAG of tasks with abstract costs; a greedy critical-path list scheduler
+// computes the makespan on k vCPUs. The ratio makespan(k)/makespan(1) is the
+// engine's parallel-efficiency curve — this is what separates routing
+// (independent grid regions, near-linear) from synthesis/placement/STA
+// (inherent dependencies) in Fig. 2d.
+
+#include <cstdint>
+#include <vector>
+
+namespace edacloud::perf {
+
+using TaskId = std::uint32_t;
+
+class TaskGraph {
+ public:
+  /// Add a task with `cost` work units depending on `deps` (must be
+  /// previously-added ids). Returns the task id.
+  TaskId add_task(double cost, const std::vector<TaskId>& deps = {});
+
+  [[nodiscard]] std::size_t task_count() const { return costs_.size(); }
+  [[nodiscard]] double total_work() const { return total_work_; }
+  [[nodiscard]] double cost(TaskId id) const { return costs_[id]; }
+
+  /// Makespan under greedy list scheduling with `workers` identical workers,
+  /// prioritizing tasks on the critical path. Equals total_work() for
+  /// workers == 1; lower-bounded by max(total/workers, critical path).
+  [[nodiscard]] double makespan(int workers) const;
+
+  /// Length of the critical (longest cost-weighted) path.
+  [[nodiscard]] double critical_path() const;
+
+  /// Speedup total_work / makespan(workers).
+  [[nodiscard]] double speedup(int workers) const;
+
+ private:
+  std::vector<double> costs_;
+  std::vector<std::vector<TaskId>> deps_;
+  std::vector<std::vector<TaskId>> children_;
+  double total_work_ = 0.0;
+
+  [[nodiscard]] std::vector<double> downstream_priority() const;
+};
+
+}  // namespace edacloud::perf

@@ -1,0 +1,68 @@
+#pragma once
+// Analytical placement — the "placement" application of the paper. The
+// engine minimizes quadratic star-model wirelength with a Jacobi-
+// preconditioned conjugate-gradient solver (the convex-optimization /
+// gradient workload the paper fingers for placement's AVX and cache-miss
+// signature), spreads cells with bin diffusion, anchors and re-solves, and
+// finally legalizes to rows.
+
+#include <cstdint>
+#include <vector>
+
+#include "nl/netlist.hpp"
+#include "perf/runtime_model.hpp"
+
+namespace edacloud::place {
+
+struct Placement {
+  double die_width_um = 0.0;
+  double die_height_um = 0.0;
+  double row_height_um = 1.0;
+  std::vector<double> x;  // per netlist node (pads + cells)
+  std::vector<double> y;
+
+  [[nodiscard]] bool valid_for(const nl::Netlist& netlist) const {
+    return x.size() == netlist.node_count() && y.size() == x.size();
+  }
+};
+
+/// Half-perimeter wirelength over all driven nets (star hyperedges), um.
+double hpwl_um(const nl::Netlist& netlist, const Placement& placement);
+
+struct PlacerOptions {
+  double utilization = 0.60;       // die sizing target
+  int global_iterations = 2;       // solve -> spread -> anchored re-solve
+  int cg_iterations = 50;          // CG steps per solve per axis
+  double anchor_weight = 0.40;     // pull toward spread positions
+  /// Serialized share of each CG iteration (reductions/synchronization);
+  /// limits parallel speedup per Fig. 2d.
+  double serial_fraction = 0.56;
+};
+
+struct PlacementResult {
+  Placement placement;
+  double hpwl_before_legalization_um = 0.0;
+  double hpwl_um = 0.0;
+  int solver_iterations = 0;
+  perf::JobProfile profile;
+};
+
+class QuadraticPlacer {
+ public:
+  explicit QuadraticPlacer(PlacerOptions options = {}) : options_(options) {}
+
+  /// Instrumented run against a VM ladder (pass {} for uninstrumented).
+  [[nodiscard]] PlacementResult run(
+      const nl::Netlist& netlist,
+      const std::vector<perf::VmConfig>& configs) const;
+
+  /// Placement only, no instrumentation.
+  [[nodiscard]] Placement place(const nl::Netlist& netlist) const;
+
+  [[nodiscard]] const PlacerOptions& options() const { return options_; }
+
+ private:
+  PlacerOptions options_;
+};
+
+}  // namespace edacloud::place

@@ -1,0 +1,124 @@
+#include "route/layers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edacloud::route {
+
+namespace {
+
+/// Split a path's edge list into maximal same-orientation runs.
+/// Edge ids below h_edges are horizontal.
+struct Segment {
+  std::size_t begin;  // index range into the edge list
+  std::size_t end;
+  bool horizontal;
+};
+
+std::vector<Segment> split_segments(const std::vector<std::uint32_t>& edges,
+                                    int h_edges) {
+  std::vector<Segment> segments;
+  std::size_t start = 0;
+  for (std::size_t i = 1; i <= edges.size(); ++i) {
+    const bool boundary =
+        i == edges.size() ||
+        (static_cast<int>(edges[i]) < h_edges) !=
+            (static_cast<int>(edges[start]) < h_edges);
+    if (boundary) {
+      segments.push_back(
+          {start, i, static_cast<int>(edges[start]) < h_edges});
+      start = i;
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+LayerReport assign_layers(const RoutingResult& routing,
+                          LayerOptions options) {
+  if (options.horizontal_layers <= 0 || options.vertical_layers <= 0 ||
+      options.tracks_per_layer <= 0) {
+    throw std::invalid_argument("layer options must be positive");
+  }
+  LayerReport report;
+  report.horizontal_layers = options.horizontal_layers;
+  report.vertical_layers = options.vertical_layers;
+
+  const int grid = routing.grid_size;
+  const int h_edges = grid * (grid - 1);
+  const std::size_t edge_count =
+      2 * static_cast<std::size_t>(grid) * std::max(0, grid - 1);
+
+  // usage[layer][edge]; H layers indexed 0.., V layers appended.
+  const int total_layers =
+      options.horizontal_layers + options.vertical_layers;
+  std::vector<std::vector<std::uint16_t>> usage(
+      static_cast<std::size_t>(total_layers),
+      std::vector<std::uint16_t>(edge_count, 0));
+
+  auto layer_range = [&](bool horizontal) {
+    return horizontal
+               ? std::pair<int, int>(0, options.horizontal_layers)
+               : std::pair<int, int>(options.horizontal_layers,
+                                     total_layers);
+  };
+
+  for (const auto& edges : routing.connection_edges) {
+    if (edges.empty()) continue;
+    const auto segments = split_segments(edges, h_edges);
+    report.segment_count += segments.size();
+    int previous_layer = -1;
+    for (const Segment& segment : segments) {
+      // Least-loaded layer: minimize the max usage along the segment.
+      const auto [lo, hi] = layer_range(segment.horizontal);
+      int best_layer = lo;
+      std::uint32_t best_peak = ~0U;
+      for (int layer = lo; layer < hi; ++layer) {
+        std::uint32_t peak = 0;
+        for (std::size_t i = segment.begin; i < segment.end; ++i) {
+          peak = std::max<std::uint32_t>(peak, usage[layer][edges[i]]);
+        }
+        if (peak < best_peak) {
+          best_peak = peak;
+          best_layer = layer;
+        }
+      }
+      for (std::size_t i = segment.begin; i < segment.end; ++i) {
+        ++usage[best_layer][edges[i]];
+      }
+      if (previous_layer >= 0 && previous_layer != best_layer) {
+        ++report.via_count;
+      }
+      previous_layer = best_layer;
+    }
+    report.via_count += 2;  // pin access at both path ends
+  }
+
+  report.layer_utilization.assign(static_cast<std::size_t>(total_layers),
+                                  0.0);
+  for (int layer = 0; layer < total_layers; ++layer) {
+    const bool horizontal = layer < options.horizontal_layers;
+    std::uint64_t used = 0;
+    std::size_t relevant = 0;
+    for (std::size_t e = 0; e < edge_count; ++e) {
+      const bool edge_horizontal = static_cast<int>(e) < h_edges;
+      if (edge_horizontal != horizontal) continue;
+      ++relevant;
+      used += usage[layer][e];
+      if (usage[layer][e] >
+          static_cast<std::uint16_t>(options.tracks_per_layer)) {
+        ++report.overflowed_layer_edges;
+      }
+    }
+    report.layer_utilization[static_cast<std::size_t>(layer)] =
+        relevant == 0
+            ? 0.0
+            : static_cast<double>(used) /
+                  (static_cast<double>(relevant) *
+                   static_cast<double>(options.tracks_per_layer));
+  }
+  return report;
+}
+
+}  // namespace edacloud::route

@@ -1,0 +1,37 @@
+#pragma once
+// Post-route layer assignment — the step between global routing and detail
+// routing in a real flow. Horizontal segments go on H layers, vertical
+// segments on V layers (preferred-direction routing); each maximal straight
+// segment picks the least-loaded layer, and a via is paid at every layer
+// change along a path (plus pin access at both ends).
+
+#include <cstdint>
+#include <vector>
+
+#include "route/router.hpp"
+
+namespace edacloud::route {
+
+struct LayerOptions {
+  int horizontal_layers = 2;  // M2, M4, ... (preferred horizontal)
+  int vertical_layers = 2;    // M3, M5, ...
+  int tracks_per_layer = 16;  // capacity per grid edge per layer
+};
+
+struct LayerReport {
+  int horizontal_layers = 0;
+  int vertical_layers = 0;
+  std::uint64_t via_count = 0;
+  std::uint64_t segment_count = 0;
+  std::size_t overflowed_layer_edges = 0;  // (edge, layer) over capacity
+  /// Mean track utilization per layer (H layers first, then V).
+  std::vector<double> layer_utilization;
+};
+
+/// Assign every routed connection's segments to layers. Requires the
+/// routing result to carry per-connection edges
+/// (RoutingResult::connection_edges).
+LayerReport assign_layers(const RoutingResult& routing,
+                          LayerOptions options = {});
+
+}  // namespace edacloud::route

@@ -1,0 +1,73 @@
+#pragma once
+// Global routing — the paper's best-scaling, most branch-missing job.
+// A congestion-aware A* maze router over a 2D grid-cell graph with
+// PathFinder-style rip-up-and-reroute: nets are decomposed into star-model
+// two-pin connections, routed in bounding-box order, and iteratively
+// rerouted with growing history costs until overflow clears (or the
+// iteration budget is spent).
+//
+// Parallelism model: connections whose bounding boxes do not overlap touch
+// disjoint grid state and route concurrently; the engine groups them into
+// waves and emits one task per connection with barriers between waves and
+// rip-up iterations. Large designs produce wide waves (near-linear
+// speedup); small designs cap out — exactly Fig. 3.
+
+#include <cstdint>
+#include <vector>
+
+#include "nl/netlist.hpp"
+#include "perf/runtime_model.hpp"
+#include "place/placer.hpp"
+
+namespace edacloud::route {
+
+struct RouterOptions {
+  int cells_per_gcell = 1;     // grid sizing: ~cells per grid cell
+  int min_grid = 8;
+  int max_grid = 256;
+  int edge_capacity = 32;      // routing tracks per grid-cell edge
+  int max_rrr_iterations = 3;  // rip-up-and-reroute rounds
+  double congestion_weight = 2.0;
+  double history_weight = 1.5;
+  /// FastRoute-style fast path: try the two L-shaped patterns before the
+  /// maze search; accept one if every edge stays under the congestion
+  /// threshold. Rip-up-and-reroute still falls back to the maze. Off by
+  /// default: pattern tasks are so small and uniform that they erase the
+  /// design-size-dependent speedup capping the paper reports in Fig. 3
+  /// (see EXPERIMENTS.md), so the characterization uses the maze router.
+  bool pattern_route = false;
+  double pattern_congestion_limit = 0.8;  // fraction of edge capacity
+};
+
+struct RoutingResult {
+  int grid_size = 0;
+  std::size_t connection_count = 0;  // two-pin (driver, sink) pairs
+  std::size_t routed_count = 0;
+  std::uint64_t wirelength_gedges = 0;  // total grid edges used
+  std::size_t overflowed_edges = 0;     // after the final iteration
+  int rrr_iterations = 0;
+  std::uint64_t total_expansions = 0;   // A* node pops
+  std::size_t pattern_routed = 0;       // connections served by L-patterns
+  std::size_t wave_count = 0;           // parallel wave depth
+  /// Per-connection grid-edge lists (backtrack order); consumed by the
+  /// layer-assignment stage.
+  std::vector<std::vector<std::uint32_t>> connection_edges;
+  perf::JobProfile profile;
+};
+
+class GridRouter {
+ public:
+  explicit GridRouter(RouterOptions options = {}) : options_(options) {}
+
+  /// Route the placed netlist; instrumented when configs is non-empty.
+  [[nodiscard]] RoutingResult run(
+      const nl::Netlist& netlist, const place::Placement& placement,
+      const std::vector<perf::VmConfig>& configs) const;
+
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
+
+ private:
+  RouterOptions options_;
+};
+
+}  // namespace edacloud::route

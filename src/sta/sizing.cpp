@@ -1,0 +1,124 @@
+#include "sta/sizing.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace edacloud::sta {
+
+namespace {
+
+/// The next drive strength up for `cell`, or kInvalidCell if already max.
+nl::CellId next_drive(const nl::CellLibrary& library, nl::CellId cell) {
+  const auto& current = library.cell(cell);
+  const auto candidates = library.cells_with_function(current.function);
+  // candidates are area-ascending: pick the first strictly larger drive
+  // (lower drive resistance) than the current cell.
+  for (nl::CellId candidate : candidates) {
+    if (library.cell(candidate).drive_res_kohm <
+        current.drive_res_kohm - 1e-12) {
+      // Among stronger cells, choose the weakest upgrade (area discipline):
+      // candidates are sorted by area, so scan for the smallest stronger.
+      nl::CellId best = candidate;
+      for (nl::CellId other : candidates) {
+        const auto& cell_other = library.cell(other);
+        if (cell_other.drive_res_kohm < current.drive_res_kohm - 1e-12 &&
+            cell_other.area_um2 < library.cell(best).area_um2) {
+          best = other;
+        }
+      }
+      return best;
+    }
+  }
+  return nl::kInvalidCell;
+}
+
+/// Rebuild the netlist with per-node cell substitutions.
+nl::Netlist rebuild(const nl::Netlist& input,
+                    const std::vector<nl::CellId>& cell_of) {
+  nl::Netlist output(input.name(), &input.library());
+  std::vector<nl::NodeId> remap(input.node_count(), nl::kInvalidNode);
+  for (nl::NodeId id : input.inputs()) remap[id] = output.add_input();
+  for (nl::NodeId id : input.topological_order()) {
+    const auto& node = input.node(id);
+    if (node.kind != nl::NodeKind::kCell) continue;
+    std::vector<nl::NodeId> fanins;
+    for (nl::NodeId fanin : node.fanins) fanins.push_back(remap[fanin]);
+    remap[id] = output.add_cell(cell_of[id], std::move(fanins));
+  }
+  for (nl::NodeId id : input.outputs()) {
+    output.add_output(remap[input.node(id).fanins[0]]);
+  }
+  return output;
+}
+
+}  // namespace
+
+SizingResult size_gates(const nl::Netlist& netlist,
+                        const place::Placement* placement,
+                        const StaEngine& engine, SizingOptions options) {
+  SizingResult result;
+  const auto& library = netlist.library();
+
+  // Work on a canonical copy; every pass re-derives the substitution map
+  // from the *current* netlist, so rebuild renumbering is harmless.
+  std::vector<nl::CellId> identity(netlist.node_count(), nl::kInvalidCell);
+  for (nl::NodeId id = 0; id < netlist.node_count(); ++id) {
+    if (netlist.is_cell(id)) identity[id] = netlist.node(id).cell;
+  }
+  nl::Netlist current = rebuild(netlist, identity);
+  TimingReport report = engine.run(current, placement, {});
+  result.slack_before_ps = report.worst_slack_ps;
+  result.area_before_um2 = netlist.stats().total_area_um2;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    if (report.worst_slack_ps >= options.target_slack_ps) break;
+    ++result.passes;
+
+    // Substitution map over the current numbering.
+    std::vector<nl::CellId> cell_of(current.node_count(), nl::kInvalidCell);
+    for (nl::NodeId id = 0; id < current.node_count(); ++id) {
+      if (current.is_cell(id)) cell_of[id] = current.node(id).cell;
+    }
+
+    // Rank violating cells, most negative slack first.
+    std::vector<nl::NodeId> violators;
+    for (nl::NodeId id = 0; id < current.node_count(); ++id) {
+      if (!current.is_cell(id)) continue;
+      if (report.slack_ps[id] < options.target_slack_ps) {
+        violators.push_back(id);
+      }
+    }
+    std::sort(violators.begin(), violators.end(),
+              [&report](nl::NodeId a, nl::NodeId b) {
+                return report.slack_ps[a] < report.slack_ps[b];
+              });
+    const std::size_t budget = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options.per_pass_fraction *
+                                    static_cast<double>(violators.size())));
+
+    int upsized_this_pass = 0;
+    for (std::size_t i = 0; i < violators.size() &&
+                            static_cast<std::size_t>(upsized_this_pass) <
+                                budget;
+         ++i) {
+      const nl::NodeId id = violators[i];
+      const nl::CellId upgrade = next_drive(library, cell_of[id]);
+      if (upgrade == nl::kInvalidCell) continue;
+      cell_of[id] = upgrade;
+      ++upsized_this_pass;
+    }
+    if (upsized_this_pass == 0) break;  // nothing left to upsize
+
+    result.upsized_cells += upsized_this_pass;
+    current = rebuild(current, cell_of);
+    report = engine.run(current, placement, {});
+  }
+
+  result.slack_after_ps = report.worst_slack_ps;
+  result.area_after_um2 = current.stats().total_area_um2;
+  result.met = report.worst_slack_ps >= options.target_slack_ps;
+  result.netlist = std::move(current);
+  return result;
+}
+
+}  // namespace edacloud::sta

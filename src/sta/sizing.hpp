@@ -1,0 +1,38 @@
+#pragma once
+// Gate sizing — the classic post-placement timing fix and the reason the
+// library carries X1/X2/X4 drive strengths. Upsizes cells on violating
+// paths (bigger drive = lower delay slope into the same load) until the
+// slack target holds or no upgrade helps, trading area for speed.
+
+#include "nl/netlist.hpp"
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+
+namespace edacloud::sta {
+
+struct SizingOptions {
+  double target_slack_ps = 0.0;  // stop once worst slack >= target
+  int max_passes = 4;            // full STA iterations
+  /// Upsize at most this fraction of cells per pass (most-critical first).
+  double per_pass_fraction = 0.10;
+};
+
+struct SizingResult {
+  nl::Netlist netlist;        // resized design
+  int upsized_cells = 0;
+  int passes = 0;
+  double slack_before_ps = 0.0;
+  double slack_after_ps = 0.0;
+  double area_before_um2 = 0.0;
+  double area_after_um2 = 0.0;
+  bool met = false;           // slack target reached
+};
+
+/// Iteratively upsize cells on violating paths. `placement` may be null
+/// (fanout-based wire delays are used, as in StaEngine::run).
+SizingResult size_gates(const nl::Netlist& netlist,
+                        const place::Placement* placement,
+                        const StaEngine& engine,
+                        SizingOptions options = {});
+
+}  // namespace edacloud::sta

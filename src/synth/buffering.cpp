@@ -1,0 +1,104 @@
+#include "synth/buffering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace edacloud::synth {
+
+namespace {
+
+/// Serve `sink_count` sinks from `root` through a tree of buffers so no
+/// node (root or buffer) drives more than max_fanout. Returns, for each
+/// sink slot, the node the sink should connect to.
+std::vector<nl::NodeId> build_buffer_tree(nl::Netlist& netlist,
+                                          nl::NodeId root,
+                                          std::size_t sink_count,
+                                          std::uint32_t max_fanout,
+                                          nl::CellId buffer_cell,
+                                          int& buffers_inserted) {
+  std::vector<nl::NodeId> drivers(sink_count, root);
+  if (sink_count <= max_fanout) return drivers;
+
+  // Bottom-up: group sinks into chunks of max_fanout behind one buffer,
+  // then recursively serve the buffers themselves.
+  const std::size_t group_count =
+      (sink_count + max_fanout - 1) / max_fanout;
+  std::vector<nl::NodeId> group_drivers = build_buffer_tree(
+      netlist, root, group_count, max_fanout, buffer_cell,
+      buffers_inserted);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    const nl::NodeId buffer =
+        netlist.add_cell(buffer_cell, {group_drivers[g]});
+    ++buffers_inserted;
+    const std::size_t begin = g * max_fanout;
+    const std::size_t end = std::min(sink_count, begin + max_fanout);
+    for (std::size_t s = begin; s < end; ++s) drivers[s] = buffer;
+  }
+  return drivers;
+}
+
+}  // namespace
+
+BufferingResult buffer_high_fanout(const nl::Netlist& netlist,
+                                   BufferingOptions options) {
+  if (options.max_fanout < 2) {
+    throw std::invalid_argument("max_fanout must be at least 2");
+  }
+  const auto& library = netlist.library();
+  nl::CellId buffer_cell = options.buffer_cell;
+  if (buffer_cell == nl::kInvalidCell) {
+    const auto buffers =
+        library.cells_with_function(nl::CellFunction::kBuf);
+    if (buffers.empty()) {
+      throw std::invalid_argument("library has no buffer cell");
+    }
+    buffer_cell = buffers.front();
+  }
+
+  BufferingResult result{nl::Netlist(netlist.name(), &library), 0, 0, 0};
+  nl::Netlist& output = result.netlist;
+
+  const auto fanouts = netlist.fanout_counts();
+  for (std::uint32_t fanout : fanouts) {
+    result.max_fanout_before = std::max(result.max_fanout_before, fanout);
+  }
+
+  // For each source node, the queue of drivers its sinks should use
+  // (assigned in sink-visit order).
+  std::vector<std::vector<nl::NodeId>> sink_drivers(netlist.node_count());
+  std::vector<std::size_t> cursor(netlist.node_count(), 0);
+  std::vector<nl::NodeId> remap(netlist.node_count(), nl::kInvalidNode);
+
+  auto driver_for = [&](nl::NodeId source) {
+    auto& queue = sink_drivers[source];
+    if (queue.empty()) {
+      queue = build_buffer_tree(output, remap[source], fanouts[source],
+                                options.max_fanout, buffer_cell,
+                                result.buffers_inserted);
+    }
+    return queue[cursor[source]++ % queue.size()];
+  };
+
+  for (nl::NodeId id : netlist.inputs()) remap[id] = output.add_input();
+  for (nl::NodeId id : netlist.topological_order()) {
+    const auto& node = netlist.node(id);
+    if (node.kind != nl::NodeKind::kCell) continue;
+    std::vector<nl::NodeId> fanins;
+    for (nl::NodeId fanin : node.fanins) {
+      fanins.push_back(driver_for(fanin));
+    }
+    remap[id] = output.add_cell(node.cell, std::move(fanins));
+  }
+  for (nl::NodeId id : netlist.outputs()) {
+    output.add_output(driver_for(netlist.node(id).fanins[0]));
+  }
+
+  const auto after = output.fanout_counts();
+  for (std::uint32_t fanout : after) {
+    result.max_fanout_after = std::max(result.max_fanout_after, fanout);
+  }
+  return result;
+}
+
+}  // namespace edacloud::synth

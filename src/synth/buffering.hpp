@@ -1,0 +1,30 @@
+#pragma once
+// High-fanout buffering — the standard fix for nets whose load wrecks
+// timing: split any net driving more than `max_fanout` sinks with a
+// balanced tree of buffers. Pairs with gate sizing in the timing-closure
+// loop (buffering reduces the load each driver sees; sizing strengthens
+// the drivers that remain critical).
+
+#include "nl/netlist.hpp"
+
+namespace edacloud::synth {
+
+struct BufferingOptions {
+  std::uint32_t max_fanout = 8;  // sinks allowed per driver
+  /// Cell used for the inserted buffers (defaults to the cheapest BUF).
+  nl::CellId buffer_cell = nl::kInvalidCell;
+};
+
+struct BufferingResult {
+  nl::Netlist netlist;
+  int buffers_inserted = 0;
+  std::uint32_t max_fanout_before = 0;
+  std::uint32_t max_fanout_after = 0;
+};
+
+/// Rebuild the netlist with buffer trees on every over-loaded net.
+/// Logic function is preserved (buffers are transparent).
+BufferingResult buffer_high_fanout(const nl::Netlist& netlist,
+                                   BufferingOptions options = {});
+
+}  // namespace edacloud::synth

@@ -1,0 +1,125 @@
+#include "synth/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edacloud::synth {
+
+using nl::Aig;
+using perf::TaskGraph;
+using perf::TaskId;
+
+namespace {
+
+/// Level-population histogram of an AIG (AND nodes only).
+std::vector<double> level_histogram(const Aig& aig) {
+  const auto levels = aig.levels();
+  std::uint32_t depth = 0;
+  for (nl::AigNode node = 0; node < aig.node_count(); ++node) {
+    if (aig.is_and(node)) depth = std::max(depth, levels[node]);
+  }
+  std::vector<double> histogram(depth + 1, 0.0);
+  for (nl::AigNode node = 0; node < aig.node_count(); ++node) {
+    if (aig.is_and(node)) histogram[levels[node]] += 1.0;
+  }
+  return histogram;
+}
+
+/// Append one optimization/mapping pass to the task graph: a serial prefix
+/// (shared hash table) followed by level-ordered parallel chunks with a
+/// barrier between levels. Returns the pass's final barrier task.
+TaskId add_levelized_pass(TaskGraph& graph, const std::vector<double>& levels,
+                          double serial_fraction, double chunk_size,
+                          TaskId prev_barrier, bool has_prev) {
+  double total = 0.0;
+  for (double count : levels) total += count;
+  std::vector<TaskId> deps;
+  if (has_prev) deps.push_back(prev_barrier);
+  const TaskId serial =
+      graph.add_task(total * serial_fraction, deps);
+  TaskId barrier = serial;
+  for (double count : levels) {
+    if (count <= 0.0) continue;
+    const double parallel_work = count * (1.0 - serial_fraction);
+    const int chunks = std::max(
+        1, static_cast<int>(std::ceil(count / chunk_size)));
+    std::vector<TaskId> chunk_ids;
+    chunk_ids.reserve(static_cast<std::size_t>(chunks));
+    for (int c = 0; c < chunks; ++c) {
+      chunk_ids.push_back(
+          graph.add_task(parallel_work / chunks, {barrier}));
+    }
+    barrier = graph.add_task(0.0, chunk_ids);
+  }
+  return barrier;
+}
+
+}  // namespace
+
+MapResult SynthesisEngine::synthesize(const Aig& input,
+                                      const SynthRecipe& recipe) const {
+  Aig current = cleanup(input);
+  for (int pass = 0; pass < recipe.rewrite_passes; ++pass) {
+    current = rewrite(current, nullptr);
+  }
+  if (recipe.balance) current = balance(current, nullptr);
+  MapResult mapped = mapper_.map(current, recipe.mode, nullptr);
+  if (recipe.fuse) {
+    mapped.netlist = fuse_inverters(mapped.netlist);
+    const auto stats = mapped.netlist.stats();
+    mapped.cell_count = stats.instance_count;
+    mapped.mapped_area_um2 = stats.total_area_um2;
+  }
+  return mapped;
+}
+
+SynthesisResult SynthesisEngine::run(
+    const Aig& input, const SynthRecipe& recipe,
+    const std::vector<perf::VmConfig>& configs) const {
+  perf::Instrument instrument =
+      configs.empty() ? perf::Instrument() : perf::Instrument(configs);
+
+  Aig current = cleanup(input);
+  int pass_count = 1;  // cleanup
+  for (int pass = 0; pass < recipe.rewrite_passes; ++pass) {
+    current = rewrite(current, &instrument);
+    ++pass_count;
+  }
+  if (recipe.balance) {
+    current = balance(current, &instrument);
+    ++pass_count;
+  }
+
+  SynthesisResult result{mapper_.map(current, recipe.mode, &instrument),
+                         current.and_count(), current.depth(),
+                         perf::JobProfile{}};
+  if (recipe.fuse) {
+    result.mapped.netlist = fuse_inverters(result.mapped.netlist);
+    const auto stats = result.mapped.netlist.stats();
+    result.mapped.cell_count = stats.instance_count;
+    result.mapped.mapped_area_um2 = stats.total_area_um2;
+  }
+
+  // ---- task graph: optimization passes + mapping DP -------------------------
+  const auto histogram = level_histogram(current);
+  TaskGraph tasks;
+  TaskId barrier = 0;
+  bool has_prev = false;
+  for (int pass = 0; pass < pass_count; ++pass) {
+    barrier = add_levelized_pass(tasks, histogram, serial_fraction_, 16.0,
+                                 barrier, has_prev);
+    has_prev = true;
+  }
+  // Mapping DP pass: level-dependent but hash-free (lower serial share).
+  barrier = add_levelized_pass(tasks, histogram, 0.10, 16.0, barrier, true);
+
+  result.profile.job = "synthesis";
+  result.profile.configs = configs;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    result.profile.counts.push_back(instrument.counts(i));
+  }
+  result.profile.tasks = std::move(tasks);
+  return result;
+}
+
+}  // namespace edacloud::synth

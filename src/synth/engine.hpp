@@ -1,0 +1,48 @@
+#pragma once
+// The synthesis application: logic optimization + technology mapping of an
+// AIG, instrumented against a ladder of VM configurations and decomposed
+// into a task graph for the parallel-efficiency model. This is the
+// "synthesis" job characterized in Fig. 2 and scheduled in Table I.
+
+#include <vector>
+
+#include "nl/aig.hpp"
+#include "nl/cell_library.hpp"
+#include "perf/runtime_model.hpp"
+#include "synth/aig_opt.hpp"
+#include "synth/mapper.hpp"
+#include "synth/recipe.hpp"
+
+namespace edacloud::synth {
+
+struct SynthesisResult {
+  MapResult mapped;          // final gate-level netlist + mapping stats
+  std::size_t optimized_and_count = 0;
+  std::uint32_t optimized_depth = 0;
+  perf::JobProfile profile;  // counters + task graph
+};
+
+class SynthesisEngine {
+ public:
+  explicit SynthesisEngine(const nl::CellLibrary& library)
+      : library_(&library), mapper_(library) {}
+
+  /// Fraction of each optimization pass serialized on shared structures
+  /// (structural-hash table); throttles the job's parallel speedup.
+  void set_serial_fraction(double fraction) { serial_fraction_ = fraction; }
+
+  [[nodiscard]] SynthesisResult run(
+      const nl::Aig& input, const SynthRecipe& recipe,
+      const std::vector<perf::VmConfig>& configs) const;
+
+  /// Convenience: run without instrumentation (tests, corpus generation).
+  [[nodiscard]] MapResult synthesize(const nl::Aig& input,
+                                     const SynthRecipe& recipe) const;
+
+ private:
+  const nl::CellLibrary* library_;
+  TechMapper mapper_;
+  double serial_fraction_ = 0.42;
+};
+
+}  // namespace edacloud::synth

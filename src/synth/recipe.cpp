@@ -1,0 +1,18 @@
+#include "synth/recipe.hpp"
+
+namespace edacloud::synth {
+
+std::vector<SynthRecipe> standard_recipes() {
+  return {
+      {"raw-area", 0, false, MapMode::kArea, false},
+      {"rw-area", 1, false, MapMode::kArea, true},
+      {"rw-bal-area", 1, true, MapMode::kArea, true},
+      {"rw2-bal-area", 2, true, MapMode::kArea, true},
+      {"rw-bal-delay", 1, true, MapMode::kDelay, true},
+      {"rw2-bal-delay", 2, true, MapMode::kDelay, false},
+  };
+}
+
+SynthRecipe default_recipe() { return {"rw-bal-area", 1, true, MapMode::kArea, true}; }
+
+}  // namespace edacloud::synth

@@ -1,0 +1,29 @@
+#pragma once
+// Synthesis recipes: named optimization scripts (pass sequences + mapper
+// mode). Applying different recipes to one design yields netlists that are
+// logically equivalent but structurally different — exactly how the paper
+// built its 330-netlist corpus ("we synthesize each benchmark applying
+// different logic optimizations").
+
+#include <string>
+#include <vector>
+
+#include "synth/mapper.hpp"
+
+namespace edacloud::synth {
+
+struct SynthRecipe {
+  std::string name;
+  int rewrite_passes = 1;
+  bool balance = true;
+  MapMode mode = MapMode::kArea;
+  bool fuse = true;  // inverter-fusion peephole after mapping
+};
+
+/// The recipe set used to multiply designs into corpus netlists.
+std::vector<SynthRecipe> standard_recipes();
+
+/// The default flow recipe (used by characterization and examples).
+SynthRecipe default_recipe();
+
+}  // namespace edacloud::synth

@@ -1,0 +1,29 @@
+#pragma once
+// Tiny CSV writer for exporting experiment series (figures) so downstream
+// plotting tools can regenerate the paper's charts.
+
+#include <string>
+#include <vector>
+
+namespace edacloud::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Serialize with RFC-4180 quoting where needed.
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false on IO failure.
+  bool write(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edacloud::util

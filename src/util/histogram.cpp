@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace edacloud::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bin_count)
+    : lo_(lo), hi_(hi), counts_(bin_count == 0 ? 1 : bin_count, 0) {}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  long bin = 0;
+  if (span > 0.0) {
+    bin = static_cast<long>((value - lo_) / span *
+                            static_cast<double>(counts_.size()));
+  }
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  const std::size_t peak =
+      counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%7.3f, %7.3f)", bin_lo(b),
+                  bin_hi(b));
+    std::size_t bar = 0;
+    if (peak > 0) bar = counts_[b] * max_bar_width / peak;
+    out += label;
+    out += " ";
+    out += pad_left(std::to_string(counts_[b]), 6);
+    out += " ";
+    out += std::string(bar, '#');
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace edacloud::util

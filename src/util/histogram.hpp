@@ -1,0 +1,36 @@
+#pragma once
+// Fixed-bin histogram with ASCII rendering — used to reproduce Fig. 5
+// (prediction-error histograms) in terminal output.
+
+#include <string>
+#include <vector>
+
+namespace edacloud::util {
+
+class Histogram {
+ public:
+  /// Bins span [lo, hi) uniformly; values outside clamp to the edge bins.
+  Histogram(double lo, double hi, std::size_t bin_count);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const {
+    return counts_[bin];
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Horizontal bar chart, one line per bin.
+  [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace edacloud::util

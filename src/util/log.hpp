@@ -1,0 +1,63 @@
+#pragma once
+// Minimal leveled logger. Single global sink (stderr) with a runtime
+// threshold; designed for library code that must stay quiet by default
+// but can narrate long-running experiments when asked.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace edacloud::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global log threshold. Messages below this level are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe append to stderr).
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+}  // namespace edacloud::util
+
+#define EDACLOUD_LOG(level)                                       \
+  if (!::edacloud::util::log_enabled(level)) {                    \
+  } else                                                          \
+    ::edacloud::util::detail::LogLine(level)
+
+#define EDACLOUD_DEBUG EDACLOUD_LOG(::edacloud::util::LogLevel::kDebug)
+#define EDACLOUD_INFO EDACLOUD_LOG(::edacloud::util::LogLevel::kInfo)
+#define EDACLOUD_WARN EDACLOUD_LOG(::edacloud::util::LogLevel::kWarn)
+#define EDACLOUD_ERROR EDACLOUD_LOG(::edacloud::util::LogLevel::kError)

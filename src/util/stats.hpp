@@ -1,0 +1,76 @@
+#pragma once
+// Small descriptive-statistics helpers shared by the characterization and
+// prediction-error reporting code.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace edacloud::util {
+
+inline double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+inline double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+inline double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+/// Linear-interpolated percentile, q in [0, 100].
+inline double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos =
+      (q / 100.0) * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+inline double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+/// Mean absolute percentage error of predictions vs. truths (both > 0).
+inline double mape(std::span<const double> truth,
+                   std::span<const double> pred) {
+  if (truth.empty() || truth.size() != pred.size()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] != 0.0) acc += std::abs((pred[i] - truth[i]) / truth[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+/// Pearson correlation coefficient.
+inline double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace edacloud::util

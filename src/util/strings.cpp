@@ -1,0 +1,73 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace edacloud::util {
+
+std::string format_fixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  if (seconds < 60.0) return format_fixed(seconds, 1) + "s";
+  const auto total = static_cast<long long>(std::llround(seconds));
+  const long long hours = total / 3600;
+  const long long minutes = (total % 3600) / 60;
+  const long long secs = total % 60;
+  char buffer[64];
+  if (hours > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lldh %02lldm %02llds", hours,
+                  minutes, secs);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lldm %02llds", minutes, secs);
+  }
+  return buffer;
+}
+
+std::string format_count(long long value) {
+  const bool negative = value < 0;
+  unsigned long long magnitude =
+      negative ? 0ULL - static_cast<unsigned long long>(value)
+               : static_cast<unsigned long long>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  std::size_t counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  if (negative) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace edacloud::util

@@ -1,0 +1,29 @@
+#pragma once
+// String formatting helpers for table/report output.
+
+#include <string>
+#include <vector>
+
+namespace edacloud::util {
+
+/// Format a double with fixed decimal places (no locale surprises).
+std::string format_fixed(double value, int decimals);
+
+/// Human-readable seconds, e.g. "2h 13m 05s" or "41.3s".
+std::string format_duration(double seconds);
+
+/// Thousands-separated integer, e.g. 1234567 -> "1,234,567".
+std::string format_count(long long value);
+
+/// "12.3%" style percent formatting (value given as fraction, 0.123).
+std::string format_percent(double fraction, int decimals = 1);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& separator);
+
+/// Left/right padding to a fixed width.
+std::string pad_left(const std::string& text, std::size_t width);
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace edacloud::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace edacloud::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  alignments_.assign(headers_.size(), Align::kRight);
+  if (!alignments_.empty()) alignments_[0] = Align::kLeft;
+}
+
+void Table::set_alignment(std::size_t column, Align align) {
+  if (column < alignments_.size()) alignments_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  Row row;
+  row.cells = std::move(cells);
+  row.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto horizontal = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      const std::string padded = alignments_[c] == Align::kLeft
+                                     ? pad_right(text, widths[c])
+                                     : pad_left(text, widths[c]);
+      line += " " + padded + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  out += horizontal();
+  out += emit_row(headers_);
+  out += horizontal();
+  for (const Row& row : rows_) {
+    if (row.separator_before) out += horizontal();
+    out += emit_row(row.cells);
+  }
+  out += horizontal();
+  return out;
+}
+
+}  // namespace edacloud::util

@@ -1,0 +1,40 @@
+#pragma once
+// ASCII table renderer used by the experiment harnesses to print paper-style
+// tables (e.g. Table I) to stdout.
+
+#include <string>
+#include <vector>
+
+namespace edacloud::util {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Column alignment (defaults to right for all but the first column).
+  void set_alignment(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace edacloud::util

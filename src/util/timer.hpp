@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock stopwatch used by the experiment harnesses. Simulated runtimes
+// come from perf::RuntimeModel — this timer only measures host time for
+// progress reporting.
+
+#include <chrono>
+
+namespace edacloud::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace edacloud::util

@@ -1,0 +1,769 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace edacloud::workloads {
+
+using nl::Aig;
+using nl::kLitFalse;
+using nl::Literal;
+using nl::literal_not;
+using util::Rng;
+
+namespace {
+
+std::vector<Literal> add_input_vector(Aig& aig, int n) {
+  std::vector<Literal> bits;
+  bits.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) bits.push_back(aig.add_input());
+  return bits;
+}
+
+void add_output_vector(Aig& aig, const std::vector<Literal>& bits) {
+  for (Literal bit : bits) aig.add_output(bit);
+}
+
+/// Balanced reduction over a vector with a binary op.
+template <typename Op>
+Literal reduce_tree(Aig& aig, std::vector<Literal> bits, Op op) {
+  if (bits.empty()) return kLitFalse;
+  while (bits.size() > 1) {
+    std::vector<Literal> next;
+    next.reserve((bits.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < bits.size(); i += 2) {
+      next.push_back(op(aig, bits[i], bits[i + 1]));
+    }
+    if (bits.size() % 2 == 1) next.push_back(bits.back());
+    bits = std::move(next);
+  }
+  return bits[0];
+}
+
+Literal or_tree(Aig& aig, std::vector<Literal> bits) {
+  return reduce_tree(aig, std::move(bits),
+                     [](Aig& g, Literal a, Literal b) { return g.or_of(a, b); });
+}
+
+Literal and_tree(Aig& aig, std::vector<Literal> bits) {
+  return reduce_tree(aig, std::move(bits), [](Aig& g, Literal a, Literal b) {
+    return g.and_of(a, b);
+  });
+}
+
+Literal xor_tree(Aig& aig, std::vector<Literal> bits) {
+  return reduce_tree(aig, std::move(bits), [](Aig& g, Literal a, Literal b) {
+    return g.xor_of(a, b);
+  });
+}
+
+struct AddResult {
+  std::vector<Literal> sum;
+  Literal carry = kLitFalse;
+};
+
+/// Ripple-carry addition; operands may differ in width (zero-extended).
+AddResult ripple_add(Aig& aig, const std::vector<Literal>& a,
+                     const std::vector<Literal>& b, Literal carry_in) {
+  AddResult result;
+  const std::size_t width = std::max(a.size(), b.size());
+  result.sum.reserve(width);
+  Literal carry = carry_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    const Literal ai = i < a.size() ? a[i] : kLitFalse;
+    const Literal bi = i < b.size() ? b[i] : kLitFalse;
+    const Literal axb = aig.xor_of(ai, bi);
+    result.sum.push_back(aig.xor_of(axb, carry));
+    carry = aig.maj_of(ai, bi, carry);
+  }
+  result.carry = carry;
+  return result;
+}
+
+std::vector<Literal> complement_vector(const std::vector<Literal>& bits) {
+  std::vector<Literal> out;
+  out.reserve(bits.size());
+  for (Literal bit : bits) out.push_back(literal_not(bit));
+  return out;
+}
+
+/// Unsigned a < b via borrow of a - b.
+Literal unsigned_less_than(Aig& aig, const std::vector<Literal>& a,
+                           const std::vector<Literal>& b) {
+  // a - b = a + ~b + 1; carry-out == 1 means a >= b.
+  const AddResult diff = ripple_add(aig, a, complement_vector(b), nl::kLitTrue);
+  return literal_not(diff.carry);
+}
+
+std::vector<Literal> mux_vector(Aig& aig, Literal select,
+                                const std::vector<Literal>& when_true,
+                                const std::vector<Literal>& when_false) {
+  std::vector<Literal> out;
+  const std::size_t width = std::max(when_true.size(), when_false.size());
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const Literal t = i < when_true.size() ? when_true[i] : kLitFalse;
+    const Literal f = i < when_false.size() ? when_false[i] : kLitFalse;
+    out.push_back(aig.mux_of(select, t, f));
+  }
+  return out;
+}
+
+/// One-hot decode of `address` (shared-subterm recursive construction).
+std::vector<Literal> decode(Aig& aig, const std::vector<Literal>& address) {
+  std::vector<Literal> terms{nl::kLitTrue};
+  for (Literal bit : address) {
+    std::vector<Literal> next;
+    next.reserve(terms.size() * 2);
+    for (Literal term : terms) next.push_back(aig.and_of(term, literal_not(bit)));
+    for (Literal term : terms) next.push_back(aig.and_of(term, bit));
+    terms = std::move(next);
+  }
+  return terms;
+}
+
+/// Random sum-of-products over `support`, with `term_count` AND terms of
+/// `term_size` random (possibly complemented) literals each.
+Literal random_sop(Aig& aig, const std::vector<Literal>& support,
+                   int term_count, int term_size, Rng& rng) {
+  std::vector<Literal> terms;
+  terms.reserve(static_cast<std::size_t>(term_count));
+  for (int t = 0; t < term_count; ++t) {
+    std::vector<Literal> lits;
+    lits.reserve(static_cast<std::size_t>(term_size));
+    for (int k = 0; k < term_size; ++k) {
+      Literal lit = support[rng.next_below(support.size())];
+      if (rng.next_bool(0.5)) lit = literal_not(lit);
+      lits.push_back(lit);
+    }
+    terms.push_back(and_tree(aig, std::move(lits)));
+  }
+  return or_tree(aig, std::move(terms));
+}
+
+/// Layered random logic: `layers` layers of `width` random 2-input gates.
+std::vector<Literal> layered_random(Aig& aig, std::vector<Literal> frontier,
+                                    int layers, int width, Rng& rng) {
+  for (int layer = 0; layer < layers; ++layer) {
+    std::vector<Literal> next;
+    next.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      Literal a = frontier[rng.next_below(frontier.size())];
+      Literal b = frontier[rng.next_below(frontier.size())];
+      if (rng.next_bool(0.5)) a = literal_not(a);
+      if (rng.next_bool(0.5)) b = literal_not(b);
+      switch (rng.next_below(4)) {
+        case 0:
+          next.push_back(aig.and_of(a, b));
+          break;
+        case 1:
+          next.push_back(aig.or_of(a, b));
+          break;
+        case 2:
+          next.push_back(aig.xor_of(a, b));
+          break;
+        default: {
+          Literal c = frontier[rng.next_below(frontier.size())];
+          next.push_back(aig.mux_of(a, b, c));
+          break;
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+int require_positive(int value, const char* what) {
+  if (value <= 0) {
+    throw std::invalid_argument(std::string(what) + " must be positive");
+  }
+  return value;
+}
+
+}  // namespace
+
+// ---- arithmetic-dense families ----------------------------------------------
+
+Aig gen_adder(int width) {
+  require_positive(width, "adder width");
+  Aig aig("adder_w" + std::to_string(width));
+  const auto a = add_input_vector(aig, width);
+  const auto b = add_input_vector(aig, width);
+  const Literal carry_in = aig.add_input();
+  const AddResult result = ripple_add(aig, a, b, carry_in);
+  add_output_vector(aig, result.sum);
+  aig.add_output(result.carry);
+  return aig;
+}
+
+Aig gen_multiplier(int width) {
+  require_positive(width, "multiplier width");
+  Aig aig("mult_w" + std::to_string(width));
+  const auto a = add_input_vector(aig, width);
+  const auto b = add_input_vector(aig, width);
+  // Row-by-row accumulation of partial products.
+  std::vector<Literal> acc(static_cast<std::size_t>(2 * width), kLitFalse);
+  for (int row = 0; row < width; ++row) {
+    std::vector<Literal> partial(static_cast<std::size_t>(2 * width),
+                                 kLitFalse);
+    for (int col = 0; col < width; ++col) {
+      partial[static_cast<std::size_t>(row + col)] =
+          aig.and_of(a[static_cast<std::size_t>(col)],
+                     b[static_cast<std::size_t>(row)]);
+    }
+    acc = ripple_add(aig, acc, partial, kLitFalse).sum;
+    acc.resize(static_cast<std::size_t>(2 * width), kLitFalse);
+  }
+  add_output_vector(aig, acc);
+  return aig;
+}
+
+Aig gen_shifter(int width_log2) {
+  require_positive(width_log2, "shifter log-width");
+  const int width = 1 << width_log2;
+  Aig aig("shifter_w" + std::to_string(width));
+  auto data = add_input_vector(aig, width);
+  const auto amount = add_input_vector(aig, width_log2);
+  // Barrel rotate-left in log stages.
+  for (int stage = 0; stage < width_log2; ++stage) {
+    const int shift = 1 << stage;
+    std::vector<Literal> rotated(data.size());
+    for (int i = 0; i < width; ++i) {
+      rotated[static_cast<std::size_t>((i + shift) % width)] =
+          data[static_cast<std::size_t>(i)];
+    }
+    data = mux_vector(aig, amount[static_cast<std::size_t>(stage)], rotated,
+                      data);
+  }
+  add_output_vector(aig, data);
+  return aig;
+}
+
+Aig gen_alu(int width) {
+  require_positive(width, "alu width");
+  Aig aig("alu_w" + std::to_string(width));
+  const auto a = add_input_vector(aig, width);
+  const auto b = add_input_vector(aig, width);
+  const auto op = add_input_vector(aig, 3);
+
+  const AddResult sum = ripple_add(aig, a, b, kLitFalse);
+  const AddResult diff = ripple_add(aig, a, complement_vector(b), nl::kLitTrue);
+  std::vector<Literal> bit_and(a.size()), bit_or(a.size()), bit_xor(a.size()),
+      bit_nor(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bit_and[i] = aig.and_of(a[i], b[i]);
+    bit_or[i] = aig.or_of(a[i], b[i]);
+    bit_xor[i] = aig.xor_of(a[i], b[i]);
+    bit_nor[i] = literal_not(bit_or[i]);
+  }
+  std::vector<Literal> slt(a.size(), kLitFalse);
+  slt[0] = unsigned_less_than(aig, a, b);
+  const std::vector<Literal> pass_b = b;
+
+  // 8:1 select via mux tree on 3 op bits.
+  const auto sel0 = mux_vector(aig, op[0], diff.sum, sum.sum);
+  const auto sel1 = mux_vector(aig, op[0], bit_or, bit_and);
+  const auto sel2 = mux_vector(aig, op[0], bit_nor, bit_xor);
+  const auto sel3 = mux_vector(aig, op[0], pass_b, slt);
+  const auto sel01 = mux_vector(aig, op[1], sel1, sel0);
+  const auto sel23 = mux_vector(aig, op[1], sel3, sel2);
+  const auto result = mux_vector(aig, op[2], sel23, sel01);
+
+  add_output_vector(aig, result);
+  aig.add_output(sum.carry);
+  aig.add_output(or_tree(aig, result));  // zero flag (complemented outside)
+  return aig;
+}
+
+Aig gen_max(int width) {
+  require_positive(width, "max width");
+  Aig aig("max_w" + std::to_string(width));
+  const auto a = add_input_vector(aig, width);
+  const auto b = add_input_vector(aig, width);
+  const auto c = add_input_vector(aig, width);
+  const auto d = add_input_vector(aig, width);
+  auto max2 = [&aig](const std::vector<Literal>& x,
+                     const std::vector<Literal>& y) {
+    const Literal x_less = unsigned_less_than(aig, x, y);
+    return mux_vector(aig, x_less, y, x);
+  };
+  const auto top = max2(max2(a, b), max2(c, d));
+  add_output_vector(aig, top);
+  return aig;
+}
+
+Aig gen_comparator(int width) {
+  require_positive(width, "comparator width");
+  Aig aig("cmp_w" + std::to_string(width));
+  const auto a = add_input_vector(aig, width);
+  const auto b = add_input_vector(aig, width);
+  std::vector<Literal> eq_bits(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_bits[i] = literal_not(aig.xor_of(a[i], b[i]));
+  }
+  const Literal equal = and_tree(aig, eq_bits);
+  const Literal less = unsigned_less_than(aig, a, b);
+  const Literal greater = aig.and_of(literal_not(less), literal_not(equal));
+  aig.add_output(equal);
+  aig.add_output(less);
+  aig.add_output(greater);
+  return aig;
+}
+
+Aig gen_parity(int width) {
+  require_positive(width, "parity width");
+  Aig aig("parity_w" + std::to_string(width));
+  auto bits = add_input_vector(aig, width);
+  aig.add_output(xor_tree(aig, std::move(bits)));
+  return aig;
+}
+
+Aig gen_voter(int inputs) {
+  require_positive(inputs, "voter inputs");
+  Aig aig("voter_n" + std::to_string(inputs));
+  const auto bits = add_input_vector(aig, inputs);
+  // Population count via accumulating ripple adds.
+  std::vector<Literal> count{bits[0]};
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    AddResult step = ripple_add(aig, count, {bits[i]}, kLitFalse);
+    count = std::move(step.sum);
+    count.push_back(step.carry);  // widen: keep the overflow bit
+  }
+  // majority: count > inputs/2  <=>  threshold < count.
+  const int threshold = inputs / 2;
+  std::vector<Literal> threshold_bits;
+  for (std::size_t i = 0; i < count.size(); ++i) {
+    threshold_bits.push_back((threshold >> i) & 1 ? nl::kLitTrue : kLitFalse);
+  }
+  aig.add_output(unsigned_less_than(aig, threshold_bits, count));
+  return aig;
+}
+
+// ---- control-dense families --------------------------------------------------
+
+Aig gen_decoder(int address_bits) {
+  require_positive(address_bits, "decoder address bits");
+  Aig aig("decoder_a" + std::to_string(address_bits));
+  const auto address = add_input_vector(aig, address_bits);
+  const Literal enable = aig.add_input();
+  for (Literal term : decode(aig, address)) {
+    aig.add_output(aig.and_of(term, enable));
+  }
+  return aig;
+}
+
+Aig gen_encoder(int inputs) {
+  require_positive(inputs, "encoder inputs");
+  Aig aig("encoder_n" + std::to_string(inputs));
+  const auto requests = add_input_vector(aig, inputs);
+  // grant_i = request_i & none of the higher-priority (lower index) requests.
+  std::vector<Literal> grants(requests.size());
+  Literal any_before = kLitFalse;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    grants[i] = aig.and_of(requests[i], literal_not(any_before));
+    any_before = aig.or_of(any_before, requests[i]);
+  }
+  const int out_bits = std::max(
+      1, static_cast<int>(std::ceil(std::log2(std::max(2, inputs)))));
+  for (int bit = 0; bit < out_bits; ++bit) {
+    std::vector<Literal> contributors;
+    for (std::size_t i = 0; i < grants.size(); ++i) {
+      if ((i >> bit) & 1U) contributors.push_back(grants[i]);
+    }
+    aig.add_output(or_tree(aig, std::move(contributors)));
+  }
+  aig.add_output(any_before);  // valid
+  return aig;
+}
+
+Aig gen_arbiter(int requesters) {
+  require_positive(requesters, "arbiter requesters");
+  Aig aig("arbiter_n" + std::to_string(requesters));
+  const auto requests = add_input_vector(aig, requesters);
+  const auto mask = add_input_vector(aig, requesters);  // round-robin mask
+  // Masked pass first, unmasked fallback (classic two-pass RR arbiter).
+  std::vector<Literal> masked(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    masked[i] = aig.and_of(requests[i], mask[i]);
+  }
+  auto priority_chain = [&aig](const std::vector<Literal>& reqs) {
+    std::vector<Literal> grants(reqs.size());
+    Literal any = kLitFalse;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      grants[i] = aig.and_of(reqs[i], literal_not(any));
+      any = aig.or_of(any, reqs[i]);
+    }
+    grants.push_back(any);  // last element = any-granted flag
+    return grants;
+  };
+  auto masked_grants = priority_chain(masked);
+  auto unmasked_grants = priority_chain(requests);
+  const Literal use_masked = masked_grants.back();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    aig.add_output(
+        aig.mux_of(use_masked, masked_grants[i], unmasked_grants[i]));
+  }
+  aig.add_output(unmasked_grants.back());
+  return aig;
+}
+
+Aig gen_cavlc(int scale, std::uint64_t seed) {
+  require_positive(scale, "cavlc scale");
+  Aig aig("cavlc_s" + std::to_string(scale));
+  Rng rng(seed ^ 0xCAFEBABEULL);
+  const auto inputs = add_input_vector(aig, 10 + scale / 2);
+  for (int out = 0; out < scale; ++out) {
+    const int terms = 4 + static_cast<int>(rng.next_below(8));
+    const int term_size = 3 + static_cast<int>(rng.next_below(3));
+    aig.add_output(random_sop(aig, inputs, terms, term_size, rng));
+  }
+  return aig;
+}
+
+Aig gen_i2c(int scale, std::uint64_t seed) {
+  require_positive(scale, "i2c scale");
+  Aig aig("i2c_s" + std::to_string(scale));
+  Rng rng(seed ^ 0x12C12C12CULL);
+  const auto state = add_input_vector(aig, 8 + scale / 4);
+  const auto io = add_input_vector(aig, 6 + scale / 4);
+  std::vector<Literal> support = state;
+  support.insert(support.end(), io.begin(), io.end());
+  const auto next = layered_random(aig, support, 5, 8 + scale, rng);
+  for (std::size_t i = 0; i < state.size() && i < next.size(); ++i) {
+    aig.add_output(next[i]);
+  }
+  // A handful of Mealy outputs.
+  for (int i = 0; i < 4; ++i) {
+    aig.add_output(random_sop(aig, support, 3, 3, rng));
+  }
+  return aig;
+}
+
+Aig gen_mem_ctrl(int ports, std::uint64_t seed) {
+  require_positive(ports, "mem_ctrl ports");
+  Aig aig("mem_ctrl_p" + std::to_string(ports));
+  Rng rng(seed ^ 0x3E3E3E3EULL);
+  const int data_width = 8;
+  const int addr_bits = 4;
+  std::vector<std::vector<Literal>> port_data;
+  std::vector<std::vector<Literal>> port_addr;
+  std::vector<Literal> port_valid;
+  for (int p = 0; p < ports; ++p) {
+    port_data.push_back(add_input_vector(aig, data_width));
+    port_addr.push_back(add_input_vector(aig, addr_bits));
+    port_valid.push_back(aig.add_input());
+  }
+  // Bank-select decoders gate each port's data onto a shared bus per bank.
+  const int banks = 1 << addr_bits;
+  std::vector<Literal> bus_or_terms;
+  for (int bank = 0; bank < banks; ++bank) {
+    for (int bit = 0; bit < data_width; ++bit) {
+      std::vector<Literal> drivers;
+      for (int p = 0; p < ports; ++p) {
+        const auto onehot = decode(aig, port_addr[static_cast<std::size_t>(p)]);
+        const Literal selected =
+            aig.and_of(onehot[static_cast<std::size_t>(bank)],
+                       port_valid[static_cast<std::size_t>(p)]);
+        drivers.push_back(aig.and_of(
+            selected, port_data[static_cast<std::size_t>(p)]
+                               [static_cast<std::size_t>(bit)]));
+      }
+      bus_or_terms.push_back(or_tree(aig, std::move(drivers)));
+    }
+  }
+  // Emit a subset of bus bits plus random control.
+  for (std::size_t i = 0; i < bus_or_terms.size(); i += 2) {
+    aig.add_output(bus_or_terms[i]);
+  }
+  std::vector<Literal> support = port_valid;
+  for (const auto& addr : port_addr) {
+    support.insert(support.end(), addr.begin(), addr.end());
+  }
+  for (int i = 0; i < ports; ++i) {
+    aig.add_output(random_sop(aig, support, 5, 4, rng));
+  }
+  return aig;
+}
+
+// ---- datapath/mux-heavy families ----------------------------------------------
+
+Aig gen_crossbar(int ports, int width) {
+  require_positive(ports, "crossbar ports");
+  require_positive(width, "crossbar width");
+  Aig aig("xbar_p" + std::to_string(ports) + "_w" + std::to_string(width));
+  const int select_bits = std::max(
+      1, static_cast<int>(std::ceil(std::log2(std::max(2, ports)))));
+  std::vector<std::vector<Literal>> in_data;
+  for (int p = 0; p < ports; ++p) {
+    in_data.push_back(add_input_vector(aig, width));
+  }
+  std::vector<std::vector<Literal>> selects;
+  for (int out = 0; out < ports; ++out) {
+    selects.push_back(add_input_vector(aig, select_bits));
+  }
+  for (int out = 0; out < ports; ++out) {
+    const auto onehot = decode(aig, selects[static_cast<std::size_t>(out)]);
+    for (int bit = 0; bit < width; ++bit) {
+      std::vector<Literal> terms;
+      for (int p = 0; p < ports; ++p) {
+        terms.push_back(
+            aig.and_of(onehot[static_cast<std::size_t>(p)],
+                       in_data[static_cast<std::size_t>(p)]
+                              [static_cast<std::size_t>(bit)]));
+      }
+      aig.add_output(or_tree(aig, std::move(terms)));
+    }
+  }
+  return aig;
+}
+
+Aig gen_sbox(int copies, std::uint64_t seed) {
+  require_positive(copies, "sbox copies");
+  Aig aig("sbox_c" + std::to_string(copies));
+  Rng rng(seed ^ 0x5B0C5B0CULL);
+  std::vector<std::vector<Literal>> bytes;
+  for (int c = 0; c < copies; ++c) {
+    bytes.push_back(add_input_vector(aig, 8));
+  }
+  std::vector<std::vector<Literal>> substituted;
+  for (int c = 0; c < copies; ++c) {
+    std::vector<Literal> out_byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      // Dense random SOP approximating an S-box output bit.
+      out_byte.push_back(
+          random_sop(aig, bytes[static_cast<std::size_t>(c)], 10, 4, rng));
+    }
+    substituted.push_back(std::move(out_byte));
+  }
+  // MixColumns-like XOR diffusion across adjacent bytes.
+  for (int c = 0; c < copies; ++c) {
+    const auto& current = substituted[static_cast<std::size_t>(c)];
+    const auto& next =
+        substituted[static_cast<std::size_t>((c + 1) % copies)];
+    for (int bit = 0; bit < 8; ++bit) {
+      aig.add_output(aig.xor_of(current[static_cast<std::size_t>(bit)],
+                                next[static_cast<std::size_t>(bit)]));
+    }
+  }
+  return aig;
+}
+
+// ---- OpenPiton analogs ---------------------------------------------------------
+
+Aig gen_dynamic_node(int ports, int width, std::uint64_t seed) {
+  require_positive(ports, "dynamic_node ports");
+  require_positive(width, "dynamic_node width");
+  Aig aig("dynamic_node_p" + std::to_string(ports) + "_w" +
+          std::to_string(width));
+  Rng rng(seed ^ 0xD1DAD1DAULL);
+  const int select_bits = std::max(
+      1, static_cast<int>(std::ceil(std::log2(std::max(2, ports)))));
+  // Input ports: flit = [dest | payload], plus a valid bit each.
+  std::vector<std::vector<Literal>> dest;
+  std::vector<std::vector<Literal>> payload;
+  std::vector<Literal> valid;
+  for (int p = 0; p < ports; ++p) {
+    dest.push_back(add_input_vector(aig, select_bits));
+    payload.push_back(add_input_vector(aig, width));
+    valid.push_back(aig.add_input());
+  }
+  const auto round_robin_mask = add_input_vector(aig, ports);
+
+  // Route computation: request matrix request[out][in].
+  std::vector<std::vector<Literal>> request(
+      static_cast<std::size_t>(ports),
+      std::vector<Literal>(static_cast<std::size_t>(ports)));
+  for (int in = 0; in < ports; ++in) {
+    const auto onehot = decode(aig, dest[static_cast<std::size_t>(in)]);
+    for (int out = 0; out < ports; ++out) {
+      request[static_cast<std::size_t>(out)][static_cast<std::size_t>(in)] =
+          aig.and_of(onehot[static_cast<std::size_t>(out)],
+                     valid[static_cast<std::size_t>(in)]);
+    }
+  }
+
+  // Per-output arbitration (masked priority) + crossbar mux.
+  for (int out = 0; out < ports; ++out) {
+    auto& reqs = request[static_cast<std::size_t>(out)];
+    std::vector<Literal> grants(reqs.size());
+    Literal any = kLitFalse;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Literal masked = aig.and_of(reqs[i], round_robin_mask[i]);
+      grants[i] = aig.and_of(aig.or_of(masked, reqs[i]), literal_not(any));
+      any = aig.or_of(any, grants[i]);
+    }
+    for (int bit = 0; bit < width; ++bit) {
+      std::vector<Literal> terms;
+      for (int in = 0; in < ports; ++in) {
+        terms.push_back(
+            aig.and_of(grants[static_cast<std::size_t>(in)],
+                       payload[static_cast<std::size_t>(in)]
+                              [static_cast<std::size_t>(bit)]));
+      }
+      aig.add_output(or_tree(aig, std::move(terms)));
+    }
+    aig.add_output(any);
+  }
+  // Credit/flow-control random logic.
+  const auto flow = layered_random(aig, valid, 3, ports * 2, rng);
+  for (std::size_t i = 0; i < flow.size() && i < 8; ++i) {
+    aig.add_output(flow[i]);
+  }
+  return aig;
+}
+
+Aig gen_sparc_core(int scale, std::uint64_t seed) {
+  require_positive(scale, "sparc_core scale");
+  Aig aig("sparc_core_s" + std::to_string(scale));
+  Rng rng(seed ^ 0x59A8C000ULL);
+  const int width = std::max(8, scale);
+  const int reg_count = 16;
+  const int reg_bits = 4;
+
+  // A seed bus stands in for the register-file read data; the sixteen
+  // register values are derived internally (rotate + mask + mix), keeping
+  // the pad count realistic for a core slice of this size.
+  const auto seed_bus = add_input_vector(aig, width);
+  const auto seed_alt = add_input_vector(aig, width);
+  const auto rs1_sel = add_input_vector(aig, reg_bits);
+  const auto rs2_sel = add_input_vector(aig, reg_bits);
+  const auto opcode = add_input_vector(aig, 5);
+  const auto immediate = add_input_vector(aig, width);
+
+  std::vector<std::vector<Literal>> regs;
+  for (int r = 0; r < reg_count; ++r) {
+    std::vector<Literal> value(static_cast<std::size_t>(width));
+    for (int bit = 0; bit < width; ++bit) {
+      const std::size_t rot =
+          static_cast<std::size_t>((bit + r * 3) % width);
+      const std::size_t rot2 =
+          static_cast<std::size_t>((bit + r * 7 + 1) % width);
+      Literal mixed = aig.xor_of(seed_bus[rot], seed_alt[rot2]);
+      if ((r >> (bit % reg_bits)) & 1) mixed = literal_not(mixed);
+      value[static_cast<std::size_t>(bit)] = mixed;
+    }
+    regs.push_back(std::move(value));
+  }
+
+  // Register read: one-hot decode + AND-OR mux network per bit.
+  auto read_port = [&](const std::vector<Literal>& select) {
+    const auto onehot = decode(aig, select);
+    std::vector<Literal> value;
+    value.reserve(static_cast<std::size_t>(width));
+    for (int bit = 0; bit < width; ++bit) {
+      std::vector<Literal> terms;
+      for (int r = 0; r < reg_count; ++r) {
+        terms.push_back(aig.and_of(onehot[static_cast<std::size_t>(r)],
+                                   regs[static_cast<std::size_t>(r)]
+                                       [static_cast<std::size_t>(bit)]));
+      }
+      value.push_back(or_tree(aig, std::move(terms)));
+    }
+    return value;
+  };
+  const auto rs1 = read_port(rs1_sel);
+  auto rs2 = read_port(rs2_sel);
+  // Immediate select.
+  rs2 = mux_vector(aig, opcode[4], immediate, rs2);
+
+  // Execution units.
+  const AddResult sum = ripple_add(aig, rs1, rs2, kLitFalse);
+  const AddResult diff =
+      ripple_add(aig, rs1, complement_vector(rs2), nl::kLitTrue);
+  std::vector<Literal> logic_and(rs1.size()), logic_xor(rs1.size());
+  for (std::size_t i = 0; i < rs1.size(); ++i) {
+    logic_and[i] = aig.and_of(rs1[i], rs2[i]);
+    logic_xor[i] = aig.xor_of(rs1[i], rs2[i]);
+  }
+  // Barrel rotate on the low power-of-two slice of rs1.
+  const int rot_log2 =
+      std::max(2, static_cast<int>(std::floor(std::log2(width))));
+  const int rot_width = 1 << std::min(rot_log2, 6);
+  std::vector<Literal> rotated(rs1.begin(),
+                               rs1.begin() + std::min<std::size_t>(
+                                                 rs1.size(),
+                                                 static_cast<std::size_t>(
+                                                     rot_width)));
+  for (int stage = 0; stage < std::min(rot_log2, 6); ++stage) {
+    const int shift = 1 << stage;
+    std::vector<Literal> shifted(rotated.size());
+    for (std::size_t i = 0; i < rotated.size(); ++i) {
+      shifted[(i + static_cast<std::size_t>(shift)) % rotated.size()] =
+          rotated[i];
+    }
+    rotated = mux_vector(aig, rs2[static_cast<std::size_t>(stage)], shifted,
+                         rotated);
+  }
+  rotated.resize(rs1.size(), kLitFalse);
+
+  // Half-width multiplier.
+  const std::size_t half = std::max<std::size_t>(4, rs1.size() / 2);
+  std::vector<Literal> mul_acc(2 * half, kLitFalse);
+  for (std::size_t row = 0; row < half; ++row) {
+    std::vector<Literal> partial(2 * half, kLitFalse);
+    for (std::size_t col = 0; col < half; ++col) {
+      partial[row + col] = aig.and_of(rs1[col], rs2[row]);
+    }
+    mul_acc = ripple_add(aig, mul_acc, partial, kLitFalse).sum;
+    mul_acc.resize(2 * half, kLitFalse);
+  }
+  mul_acc.resize(rs1.size(), kLitFalse);
+
+  // Decode/control random logic conditions the writeback.
+  std::vector<Literal> control_support = opcode;
+  control_support.push_back(sum.carry);
+  control_support.push_back(diff.carry);
+  const auto control = layered_random(aig, control_support, 4, 16, rng);
+
+  // Writeback select tree.
+  const auto sel_arith = mux_vector(aig, opcode[0], diff.sum, sum.sum);
+  const auto sel_logic = mux_vector(aig, opcode[0], logic_xor, logic_and);
+  const auto sel_shift_mul = mux_vector(aig, opcode[0], mul_acc, rotated);
+  const auto sel_01 = mux_vector(aig, opcode[1], sel_logic, sel_arith);
+  const auto sel_23 = mux_vector(aig, opcode[1], sel_shift_mul, sel_arith);
+  auto writeback = mux_vector(aig, opcode[2], sel_23, sel_01);
+  // Control gating.
+  for (std::size_t i = 0; i < writeback.size(); ++i) {
+    writeback[i] =
+        aig.and_of(writeback[i], aig.or_of(control[i % control.size()],
+                                           opcode[3]));
+  }
+  add_output_vector(aig, writeback);
+  aig.add_output(sum.carry);
+  aig.add_output(diff.carry);
+  for (std::size_t i = 0; i < 4 && i < control.size(); ++i) {
+    aig.add_output(control[i]);
+  }
+  return aig;
+}
+
+// ---- dispatch -----------------------------------------------------------------
+
+Aig generate(const BenchmarkSpec& spec) {
+  const int n = spec.size;
+  if (spec.family == "adder") return gen_adder(n);
+  if (spec.family == "multiplier") return gen_multiplier(n);
+  if (spec.family == "shifter") return gen_shifter(n);
+  if (spec.family == "alu") return gen_alu(n);
+  if (spec.family == "max") return gen_max(n);
+  if (spec.family == "comparator") return gen_comparator(n);
+  if (spec.family == "parity") return gen_parity(n);
+  if (spec.family == "voter") return gen_voter(n);
+  if (spec.family == "decoder") return gen_decoder(n);
+  if (spec.family == "encoder") return gen_encoder(n);
+  if (spec.family == "arbiter") return gen_arbiter(n);
+  if (spec.family == "cavlc") return gen_cavlc(n, spec.seed);
+  if (spec.family == "i2c") return gen_i2c(n, spec.seed);
+  if (spec.family == "mem_ctrl") return gen_mem_ctrl(n, spec.seed);
+  if (spec.family == "crossbar") return gen_crossbar(n, 8);
+  if (spec.family == "sbox") return gen_sbox(n, spec.seed);
+  if (spec.family == "dynamic_node") return gen_dynamic_node(n, 16, spec.seed);
+  if (spec.family == "sparc_core") return gen_sparc_core(n, spec.seed);
+  throw std::invalid_argument("unknown benchmark family: " + spec.family);
+}
+
+}  // namespace edacloud::workloads

@@ -1,0 +1,57 @@
+#pragma once
+// Parametric benchmark-circuit generators. These stand in for the paper's
+// EPFL suite, OpenCores designs and OpenPiton blocks (see DESIGN.md):
+// each family produces the same structural *class* of logic (arithmetic-
+// dense, control-dense, memory/mux-like) that the originals exhibit, with
+// deterministic seeding so every experiment is reproducible.
+//
+// Every generator returns an AIG; the synthesis module maps AIGs to
+// gate-level netlists with different optimization recipes to create the
+// 330-netlist corpus of §IV.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nl/aig.hpp"
+
+namespace edacloud::workloads {
+
+/// Identifies one concrete benchmark instance.
+struct BenchmarkSpec {
+  std::string family;      // one of families() below
+  int size = 8;            // family-specific scale (bit width / port count)
+  std::uint64_t seed = 1;  // random-structure families only
+};
+
+/// Generate the AIG for a spec. Throws std::invalid_argument on an unknown
+/// family or non-positive size.
+nl::Aig generate(const BenchmarkSpec& spec);
+
+// ---- arithmetic-dense families (EPFL-arithmetic analogs) -------------------
+nl::Aig gen_adder(int width);             // ripple-carry adder
+nl::Aig gen_multiplier(int width);        // array multiplier
+nl::Aig gen_shifter(int width_log2);      // barrel shifter
+nl::Aig gen_alu(int width);               // add/sub/and/or/xor/mux ALU
+nl::Aig gen_max(int width);               // 4-operand unsigned max
+nl::Aig gen_comparator(int width);        // equality + magnitude flags
+nl::Aig gen_parity(int width);            // xor tree
+nl::Aig gen_voter(int inputs);            // majority of N inputs
+
+// ---- control-dense families (EPFL-control / OpenCores analogs) -------------
+nl::Aig gen_decoder(int address_bits);    // n -> 2^n one-hot
+nl::Aig gen_encoder(int inputs);          // priority encoder
+nl::Aig gen_arbiter(int requesters);      // fixed-priority arbiter chain
+nl::Aig gen_cavlc(int scale, std::uint64_t seed);   // random SOP control
+nl::Aig gen_i2c(int scale, std::uint64_t seed);     // sparse FSM next-state
+nl::Aig gen_mem_ctrl(int ports, std::uint64_t seed);// wide mux + control
+
+// ---- datapath/mux-heavy families -------------------------------------------
+nl::Aig gen_crossbar(int ports, int width);
+nl::Aig gen_sbox(int copies, std::uint64_t seed);   // AES-round-like S-boxes
+
+// ---- OpenPiton analogs ------------------------------------------------------
+nl::Aig gen_dynamic_node(int ports, int width, std::uint64_t seed);
+nl::Aig gen_sparc_core(int scale, std::uint64_t seed);
+
+}  // namespace edacloud::workloads

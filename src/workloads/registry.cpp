@@ -1,0 +1,64 @@
+#include "workloads/registry.hpp"
+
+namespace edacloud::workloads {
+
+const std::vector<FamilyInfo>& families() {
+  static const std::vector<FamilyInfo> kFamilies = {
+      {"adder", false, {16, 32, 64, 128}, 64},
+      {"multiplier", false, {8, 12, 16, 24}, 24},
+      {"shifter", false, {4, 5, 6, 7}, 6},
+      {"alu", false, {8, 16, 32, 48}, 32},
+      {"max", false, {8, 16, 32, 64}, 32},
+      {"comparator", false, {16, 32, 64, 128}, 64},
+      {"parity", false, {32, 64, 128, 256}, 128},
+      {"voter", false, {15, 25, 41, 63}, 41},
+      {"decoder", false, {5, 6, 7, 8}, 7},
+      {"encoder", false, {16, 32, 64, 128}, 64},
+      {"arbiter", false, {16, 32, 64, 128}, 64},
+      {"cavlc", true, {8, 16, 28, 40}, 28},
+      {"i2c", true, {8, 16, 28, 40}, 28},
+      {"mem_ctrl", true, {2, 4, 6, 8}, 6},
+      {"crossbar", false, {4, 6, 8, 12}, 8},
+      {"sbox", true, {2, 4, 8, 12}, 8},
+      {"dynamic_node", true, {3, 4, 5, 6}, 5},
+      {"sparc_core", true, {8, 12, 16, 24}, 32},
+  };
+  return kFamilies;
+}
+
+std::vector<BenchmarkSpec> corpus_specs(std::size_t max_designs) {
+  std::vector<BenchmarkSpec> specs;
+  for (const FamilyInfo& family : families()) {
+    for (std::size_t i = 0; i < family.corpus_sizes.size(); ++i) {
+      BenchmarkSpec spec;
+      spec.family = family.name;
+      spec.size = family.corpus_sizes[i];
+      // Distinct seeds give randomized families structural diversity even
+      // at the same size parameter.
+      spec.seed = 0x1000 + i * 7 + 1;
+      specs.push_back(spec);
+    }
+  }
+  if (max_designs != 0 && specs.size() > max_designs) {
+    specs.resize(max_designs);
+  }
+  return specs;
+}
+
+std::vector<NamedDesign> characterization_designs() {
+  // Ordered smallest to largest (#instances), mirroring Fig. 3's x-axis.
+  return {
+      {"dynamic_node", {"dynamic_node", 4, 21}},
+      {"decoder", {"decoder", 6, 22}},
+      {"aes", {"sbox", 3, 23}},
+      {"alu", {"alu", 32, 24}},
+      {"mem_ctrl", {"mem_ctrl", 8, 25}},
+      {"sparc_core", {"sparc_core", 48, 26}},
+  };
+}
+
+NamedDesign flagship_design() {
+  return {"sparc_core", {"sparc_core", 48, 26}};
+}
+
+}  // namespace edacloud::workloads

@@ -1,0 +1,40 @@
+#pragma once
+// Benchmark registry: the 18 families standing in for the paper's EPFL +
+// OpenCores suite, the size ladders used to build the 330-netlist corpus,
+// and the named characterization designs of Fig. 3 (dynamic_node smallest,
+// sparc_core largest).
+
+#include <string>
+#include <vector>
+
+#include "workloads/generators.hpp"
+
+namespace edacloud::workloads {
+
+struct FamilyInfo {
+  std::string name;
+  bool randomized = false;       // generator consumes the seed
+  std::vector<int> corpus_sizes; // sizes contributing to the ML corpus
+  int characterization_size = 0; // size used in characterization runs
+};
+
+/// The 18 benchmark families (fixed order, deterministic).
+const std::vector<FamilyInfo>& families();
+
+/// Corpus base specs: family x size (x seed for randomized families).
+/// These are the unique *designs*; the synthesis recipes multiply them
+/// into unique *netlists* (DatasetBuilder caps the total at `max_designs`).
+std::vector<BenchmarkSpec> corpus_specs(std::size_t max_designs = 0);
+
+/// Named designs for the Fig. 3 routing-scalability experiment, ordered
+/// smallest to largest.
+struct NamedDesign {
+  std::string name;
+  BenchmarkSpec spec;
+};
+std::vector<NamedDesign> characterization_designs();
+
+/// The flagship design used in Fig. 2 / Table I (sparc_core analog).
+NamedDesign flagship_design();
+
+}  // namespace edacloud::workloads

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "synth/aig_opt.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::synth {
+namespace {
+
+using nl::Aig;
+using nl::Literal;
+using nl::literal_not;
+
+bool equivalent(const Aig& a, const Aig& b, std::uint64_t seed) {
+  if (a.input_count() != b.input_count() ||
+      a.output_count() != b.output_count()) {
+    return false;
+  }
+  util::Rng rng(seed);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::uint64_t> words(a.input_count());
+    for (auto& w : words) w = rng();
+    if (a.simulate(words) != b.simulate(words)) return false;
+  }
+  return true;
+}
+
+TEST(CleanupTest, DropsDeadNodes) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal live = aig.and_of(a, b);
+  aig.and_of(literal_not(a), literal_not(b));  // dead
+  aig.add_output(live);
+  const Aig cleaned = cleanup(aig);
+  EXPECT_EQ(cleaned.and_count(), 1u);
+  EXPECT_TRUE(equivalent(aig, cleaned, 1));
+}
+
+TEST(RewriteTest, AbsorptionRule) {
+  // a & (a & b) -> a & b.
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal inner = aig.and_of(a, b);
+  aig.add_output(aig.and_of(a, inner));
+  const Aig rewritten = rewrite(aig);
+  EXPECT_LT(rewritten.and_count(), aig.and_count());
+  EXPECT_TRUE(equivalent(aig, rewritten, 2));
+}
+
+TEST(RewriteTest, ConflictRule) {
+  // a & (!a & b) -> 0.
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal inner = aig.and_of(literal_not(a), b);
+  aig.add_output(aig.and_of(a, inner));
+  const Aig rewritten = cleanup(rewrite(aig));
+  EXPECT_EQ(rewritten.and_count(), 0u);
+  EXPECT_TRUE(equivalent(aig, rewritten, 3));
+}
+
+TEST(RewriteTest, ResolutionRule) {
+  // a & !(a & b) -> a & !b.
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal inner = aig.and_of(a, b);
+  aig.add_output(aig.and_of(a, literal_not(inner)));
+  const Aig rewritten = rewrite(aig);
+  EXPECT_TRUE(equivalent(aig, rewritten, 4));
+}
+
+TEST(BalanceTest, ReducesChainDepth) {
+  // A linear AND chain of 16 inputs balances to depth 4.
+  Aig aig;
+  std::vector<Literal> inputs;
+  for (int i = 0; i < 16; ++i) inputs.push_back(aig.add_input());
+  Literal acc = inputs[0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    acc = aig.and_of(acc, inputs[i]);
+  }
+  aig.add_output(acc);
+  EXPECT_EQ(aig.depth(), 15u);
+  const Aig balanced = balance(aig);
+  EXPECT_LE(balanced.depth(), 5u);
+  EXPECT_TRUE(equivalent(aig, balanced, 5));
+}
+
+TEST(BalanceTest, PreservesSharedNodes) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal c = aig.add_input();
+  const Literal shared = aig.and_of(a, b);
+  aig.add_output(aig.and_of(shared, c));
+  aig.add_output(literal_not(shared));
+  const Aig balanced = balance(aig);
+  EXPECT_TRUE(equivalent(aig, balanced, 6));
+}
+
+TEST(BalanceTest, NeverIncreasesDepth) {
+  const nl::Aig aig = workloads::gen_alu(8);
+  const Aig balanced = balance(aig);
+  EXPECT_LE(balanced.depth(), aig.depth());
+}
+
+// Property sweep: every optimization pass preserves the logic function of
+// every benchmark family.
+struct OptCase {
+  std::string family;
+  int pass;  // 0 = cleanup, 1 = rewrite, 2 = balance, 3 = rw+balance
+};
+
+class OptEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(OptEquivalenceTest, PreservesFunction) {
+  const auto [family, pass] = GetParam();
+  workloads::BenchmarkSpec spec;
+  spec.family = family;
+  for (const auto& info : workloads::families()) {
+    if (info.name == family) spec.size = info.corpus_sizes.front();
+  }
+  spec.seed = 31;
+  const Aig aig = workloads::generate(spec);
+  Aig optimized = [&] {
+    switch (pass) {
+      case 0:
+        return cleanup(aig);
+      case 1:
+        return rewrite(aig);
+      case 2:
+        return balance(aig);
+      default:
+        return balance(rewrite(aig));
+    }
+  }();
+  EXPECT_TRUE(equivalent(aig, optimized, 77)) << family << " pass " << pass;
+  // Balancing can trade cross-cone strash sharing for depth; bound the
+  // growth rather than forbidding it.
+  EXPECT_LE(optimized.and_count(), aig.and_count() * 2);
+}
+
+std::vector<std::string> sweep_families() {
+  return {"adder",  "multiplier", "alu",   "voter",       "decoder",
+          "arbiter", "cavlc",     "sbox",  "dynamic_node", "sparc_core"};
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, OptEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(sweep_families()),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace edacloud::synth

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "nl/aig.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+TEST(LiteralTest, EncodeDecode) {
+  const Literal lit = make_literal(5, true);
+  EXPECT_EQ(literal_node(lit), 5u);
+  EXPECT_TRUE(literal_complemented(lit));
+  EXPECT_EQ(literal_not(literal_not(lit)), lit);
+  EXPECT_EQ(kLitTrue, literal_not(kLitFalse));
+}
+
+TEST(AigTest, ConstantFolding) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  EXPECT_EQ(aig.and_of(a, kLitFalse), kLitFalse);
+  EXPECT_EQ(aig.and_of(kLitFalse, a), kLitFalse);
+  EXPECT_EQ(aig.and_of(a, kLitTrue), a);
+  EXPECT_EQ(aig.and_of(kLitTrue, a), a);
+  EXPECT_EQ(aig.and_of(a, a), a);
+  EXPECT_EQ(aig.and_of(a, literal_not(a)), kLitFalse);
+  EXPECT_EQ(aig.and_count(), 0u);
+}
+
+TEST(AigTest, StructuralHashingDeduplicates) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal x = aig.and_of(a, b);
+  const Literal y = aig.and_of(b, a);  // commuted
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(aig.and_count(), 1u);
+}
+
+TEST(AigTest, InputsMustPrecedeAnds) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  aig.and_of(a, b);
+  EXPECT_THROW(aig.add_input(), std::logic_error);
+}
+
+TEST(AigTest, XorTruthTable) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  aig.add_output(aig.xor_of(a, b));
+  const auto out = aig.simulate({0xAAAAAAAAAAAAAAAAULL,
+                                 0xCCCCCCCCCCCCCCCCULL});
+  EXPECT_EQ(out[0], 0xAAAAAAAAAAAAAAAAULL ^ 0xCCCCCCCCCCCCCCCCULL);
+}
+
+TEST(AigTest, MuxAndMajTruthTables) {
+  Aig aig;
+  const Literal s = aig.add_input();
+  const Literal t = aig.add_input();
+  const Literal f = aig.add_input();
+  aig.add_output(aig.mux_of(s, t, f));
+  aig.add_output(aig.maj_of(s, t, f));
+  const std::uint64_t vs = 0xAAAAAAAAAAAAAAAAULL;
+  const std::uint64_t vt = 0xCCCCCCCCCCCCCCCCULL;
+  const std::uint64_t vf = 0xF0F0F0F0F0F0F0F0ULL;
+  const auto out = aig.simulate({vs, vt, vf});
+  EXPECT_EQ(out[0], (vs & vt) | (~vs & vf));
+  EXPECT_EQ(out[1], (vs & vt) | (vs & vf) | (vt & vf));
+}
+
+TEST(AigTest, DepthOfChain) {
+  Aig aig;
+  Literal acc = aig.add_input();
+  std::vector<Literal> inputs;
+  for (int i = 0; i < 7; ++i) inputs.push_back(aig.add_input());
+  for (Literal input : inputs) acc = aig.and_of(acc, input);
+  aig.add_output(acc);
+  EXPECT_EQ(aig.depth(), 7u);
+}
+
+TEST(AigTest, FanoutCountsIncludeOutputs) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal x = aig.and_of(a, b);
+  aig.add_output(x);
+  aig.add_output(literal_not(x));
+  const auto fanouts = aig.fanout_counts();
+  EXPECT_EQ(fanouts[literal_node(x)], 2u);
+  EXPECT_EQ(fanouts[literal_node(a)], 1u);
+}
+
+TEST(AigTest, LiveNodesExcludesDeadCone) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal used = aig.and_of(a, b);
+  const Literal dead = aig.and_of(literal_not(a), b);
+  aig.add_output(used);
+  const auto alive = aig.live_nodes();
+  EXPECT_TRUE(alive[literal_node(used)]);
+  EXPECT_FALSE(alive[literal_node(dead)]);
+}
+
+TEST(AigTest, ForwardCsrPreservesDirection) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal x = aig.and_of(a, b);
+  aig.add_output(x);
+  const Csr csr = aig.build_forward_csr();
+  EXPECT_EQ(csr.edge_count(), 2u);
+  EXPECT_EQ(csr.degree(literal_node(a)), 1u);
+  EXPECT_EQ(csr.degree(literal_node(x)), 0u);
+}
+
+TEST(AigTest, SimulateRejectsWrongArity) {
+  Aig aig;
+  aig.add_input();
+  EXPECT_THROW(aig.simulate({}), std::invalid_argument);
+}
+
+TEST(AigTest, DeMorganEquivalence) {
+  // !(a & b) == !a | !b on random patterns.
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  aig.add_output(literal_not(aig.and_of(a, b)));
+  aig.add_output(aig.or_of(literal_not(a), literal_not(b)));
+  util::Rng rng(3);
+  const auto out = aig.simulate({rng(), rng()});
+  EXPECT_EQ(out[0], out[1]);
+}
+
+}  // namespace
+}  // namespace edacloud::nl

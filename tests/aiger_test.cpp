@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "nl/aiger.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+TEST(AigerWriterTest, HeaderCountsMatch) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  aig.add_output(aig.and_of(a, b));
+  const std::string text = write_aiger(aig);
+  EXPECT_EQ(text.rfind("aag 3 2 0 1 1", 0), 0u) << text;
+}
+
+TEST(AigerRoundTripTest, SmallAig) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal c = aig.add_input();
+  aig.add_output(aig.xor_of(aig.and_of(a, b), c));
+  aig.add_output(literal_not(a));
+
+  const auto parsed = parse_aiger(write_aiger(aig));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.aig.node_count(), aig.node_count());
+  EXPECT_EQ(parsed.aig.output_count(), aig.output_count());
+  util::Rng rng(4);
+  const std::vector<std::uint64_t> words = {rng(), rng(), rng()};
+  EXPECT_EQ(aig.simulate(words), parsed.aig.simulate(words));
+}
+
+TEST(AigerParserTest, RejectsBadMagic) {
+  EXPECT_FALSE(parse_aiger("aig 1 1 0 0 0\n2\n").ok);
+}
+
+TEST(AigerParserTest, RejectsLatches) {
+  const auto parsed = parse_aiger("aag 1 0 1 0 0\n2 3\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("latches"), std::string::npos);
+}
+
+TEST(AigerParserTest, RejectsTruncatedAndSection) {
+  const auto parsed = parse_aiger("aag 3 2 0 1 1\n2\n4\n6\n6 2\n");
+  EXPECT_FALSE(parsed.ok);
+}
+
+TEST(AigerParserTest, RejectsForwardReference) {
+  // AND 6 references literal 8 (node 4) which is not yet defined.
+  const auto parsed = parse_aiger("aag 4 2 0 1 2\n2\n4\n6\n6 8 4\n8 2 4\n");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("before use"), std::string::npos);
+}
+
+TEST(AigerParserTest, ConstantOutputsSupported) {
+  const auto parsed = parse_aiger("aag 1 1 0 2 0\n2\n0\n1\n");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto out = parsed.aig.simulate({0x1234ULL});
+  EXPECT_EQ(out[0], 0ULL);
+  EXPECT_EQ(out[1], ~0ULL);
+}
+
+// Round-trip property across generated families.
+class AigerRoundTripSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AigerRoundTripSweep, FamilyRoundTrips) {
+  workloads::BenchmarkSpec spec;
+  spec.family = GetParam();
+  for (const auto& info : workloads::families()) {
+    if (info.name == spec.family) spec.size = info.corpus_sizes.front();
+  }
+  spec.seed = 41;
+  const Aig aig = workloads::generate(spec);
+  const auto parsed = parse_aiger(write_aiger(aig));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.aig.and_count(), aig.and_count());
+  util::Rng rng(43);
+  std::vector<std::uint64_t> words(aig.input_count());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(aig.simulate(words), parsed.aig.simulate(words));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, AigerRoundTripSweep,
+                         ::testing::Values("adder", "multiplier", "parity",
+                                           "encoder", "i2c", "mem_ctrl",
+                                           "sparc_core"));
+
+}  // namespace
+}  // namespace edacloud::nl

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/baseline.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::ml {
+namespace {
+
+GraphSample make_sample(std::size_t n, std::uint64_t seed,
+                        std::uint32_t family) {
+  util::Rng rng(seed);
+  std::vector<std::pair<nl::VertexId, nl::VertexId>> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.emplace_back(static_cast<nl::VertexId>(rng.next_below(i)),
+                       static_cast<nl::VertexId>(i));
+    if (i > 2 && rng.next_bool(0.5)) {
+      edges.emplace_back(static_cast<nl::VertexId>(rng.next_below(i)),
+                         static_cast<nl::VertexId>(i));
+    }
+  }
+  GraphSample sample;
+  const auto forward = nl::build_csr(n, edges);
+  sample.in_neighbors = nl::transpose(forward);
+  sample.features = Matrix(n, 20);
+  const auto levels = nl::longest_path_levels(forward);
+  std::uint32_t depth = 0;
+  for (auto l : levels) depth = std::max(depth, l);
+  for (std::size_t v = 0; v < n; ++v) {
+    sample.features.at(v, 17) =
+        static_cast<double>(levels[v]) / std::max(1u, depth);
+    sample.features.at(v, 19) = 1.0;
+  }
+  // Targets: linear in log(n) and log(edges) -> exactly representable.
+  const double base =
+      0.7 * std::log(static_cast<double>(n)) +
+      0.3 * std::log(static_cast<double>(edges.size()));
+  sample.log_runtimes = {base, base - 0.3, base - 0.6, base - 0.8};
+  sample.family_id = family;
+  return sample;
+}
+
+TEST(RidgeBaselineTest, FeaturesAreFinite) {
+  const GraphSample sample = make_sample(20, 1, 0);
+  const auto x = RidgeBaseline::features(sample);
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(x.back(), 1.0);  // bias channel
+}
+
+TEST(RidgeBaselineTest, RecoversLinearTargetsExactly) {
+  std::vector<GraphSample> train;
+  for (std::uint32_t d = 0; d < 40; ++d) {
+    train.push_back(make_sample(10 + 7 * (d % 12), 100 + d, d));
+  }
+  TargetScaler scaler;
+  scaler.fit(train);
+  RidgeBaseline baseline(1e-6);
+  baseline.fit(train, scaler);
+  ASSERT_TRUE(baseline.fitted());
+
+  const EvalResult eval = baseline.evaluate(train, scaler);
+  EXPECT_LT(eval.mean_relative_error, 0.05);
+}
+
+TEST(RidgeBaselineTest, GeneralizesToUnseenSizes) {
+  std::vector<GraphSample> train, test;
+  for (std::uint32_t d = 0; d < 40; ++d) {
+    auto sample = make_sample(10 + 7 * (d % 12), 200 + d, d);
+    if (d % 5 == 3) {
+      test.push_back(std::move(sample));
+    } else {
+      train.push_back(std::move(sample));
+    }
+  }
+  TargetScaler scaler;
+  scaler.fit(train);
+  RidgeBaseline baseline;
+  baseline.fit(train, scaler);
+  const EvalResult eval = baseline.evaluate(test, scaler);
+  EXPECT_LT(eval.mean_relative_error, 0.15);
+}
+
+TEST(RidgeBaselineTest, RegularizationKeepsWeightsFinite) {
+  // Degenerate data: all samples identical -> singular normal equations.
+  std::vector<GraphSample> train(5, make_sample(16, 7, 0));
+  TargetScaler scaler;
+  scaler.fit(train);
+  RidgeBaseline baseline(1e-3);
+  baseline.fit(train, scaler);
+  const auto prediction = baseline.predict(train.front());
+  for (double v : prediction) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace edacloud::ml

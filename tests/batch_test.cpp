@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+
+namespace edacloud::core {
+namespace {
+
+BatchDesign make_design(const std::string& name, double scale) {
+  BatchDesign design;
+  design.name = name;
+  design.ladders[static_cast<int>(JobKind::kSynthesis)] = {
+      6000 * scale, 4300 * scale, 3400 * scale, 3300 * scale};
+  design.ladders[static_cast<int>(JobKind::kPlacement)] = {
+      1200 * scale, 900 * scale, 640 * scale, 520 * scale};
+  design.ladders[static_cast<int>(JobKind::kRouting)] = {
+      10000 * scale, 5500 * scale, 2900 * scale, 1700 * scale};
+  design.ladders[static_cast<int>(JobKind::kSta)] = {
+      180 * scale, 120 * scale, 90 * scale, 80 * scale};
+  return design;
+}
+
+TEST(BatchPlannerTest, StagesConcatenatePerDesign) {
+  BatchPlanner planner;
+  const auto stages =
+      planner.build_stages({make_design("a", 1.0), make_design("b", 0.5)});
+  ASSERT_EQ(stages.size(), 8u);
+  EXPECT_EQ(stages[0].name, "a:synthesis");
+  EXPECT_EQ(stages[7].name, "b:sta");
+}
+
+TEST(BatchPlannerTest, JointPlanMeetsDeadline) {
+  BatchPlanner planner;
+  const std::vector<BatchDesign> designs = {make_design("a", 1.0),
+                                            make_design("b", 0.4)};
+  const auto stages = planner.build_stages(designs);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const auto plan = planner.plan(designs, fastest * 1.3);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.entries.size(), 8u);
+  EXPECT_LE(plan.total_runtime_seconds, fastest * 1.3 + 1.0);
+  // Entries carry the right design labels in flow order.
+  EXPECT_EQ(plan.entries[0].design, "a");
+  EXPECT_EQ(plan.entries[4].design, "b");
+  EXPECT_EQ(plan.entries[4].job, JobKind::kSynthesis);
+}
+
+TEST(BatchPlannerTest, InfeasibleWhenDeadlineBelowFastest) {
+  BatchPlanner planner;
+  const std::vector<BatchDesign> designs = {make_design("a", 1.0)};
+  const auto stages = planner.build_stages(designs);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  EXPECT_FALSE(planner.plan(designs, fastest * 0.9).feasible);
+}
+
+TEST(BatchPlannerTest, SlackFlowsToTheExpensiveDesign) {
+  // With a shared deadline, the optimizer should spend upgrades where the
+  // cost per saved second is lowest, not uniformly.
+  BatchPlanner planner;
+  const std::vector<BatchDesign> designs = {make_design("big", 1.0),
+                                            make_design("small", 0.1)};
+  const auto stages = planner.build_stages(designs);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const auto plan = planner.plan(designs, fastest * 1.6);
+  ASSERT_TRUE(plan.feasible);
+  int big_vcpus = 0, small_vcpus = 0;
+  for (const auto& entry : plan.entries) {
+    if (entry.design == "big") big_vcpus += entry.vcpus;
+    if (entry.design == "small") small_vcpus += entry.vcpus;
+  }
+  // The small design can afford to run slow; the big one absorbs upgrades.
+  EXPECT_LE(small_vcpus, big_vcpus);
+}
+
+TEST(BatchPlannerTest, SavingsAgainstNaiveBatch) {
+  BatchPlanner planner;
+  const std::vector<BatchDesign> designs = {make_design("a", 1.0),
+                                            make_design("b", 0.7)};
+  const auto stages = planner.build_stages(designs);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const auto report = planner.savings(designs, fastest * 1.4);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_LE(report.optimized_cost_usd,
+            report.over_provision_cost_usd + 1e-9);
+  EXPECT_GT(report.saving_vs_over, 0.0);
+}
+
+}  // namespace
+}  // namespace edacloud::core

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "perf/branch_sim.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::perf {
+namespace {
+
+TEST(BranchPredictorTest, LearnsAlwaysTaken) {
+  BranchPredictor predictor;
+  for (int i = 0; i < 1000; ++i) predictor.observe(0x10, true);
+  // After warmup the predictor should be nearly perfect.
+  EXPECT_LT(predictor.stats().miss_rate(), 0.02);
+}
+
+TEST(BranchPredictorTest, LearnsAlwaysNotTaken) {
+  BranchPredictor predictor;
+  for (int i = 0; i < 1000; ++i) predictor.observe(0x20, false);
+  EXPECT_LT(predictor.stats().miss_rate(), 0.02);
+}
+
+TEST(BranchPredictorTest, RandomOutcomesNearHalfMisses) {
+  BranchPredictor predictor;
+  util::Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    predictor.observe(0x30, rng.next_bool(0.5));
+  }
+  EXPECT_GT(predictor.stats().miss_rate(), 0.35);
+  EXPECT_LT(predictor.stats().miss_rate(), 0.65);
+}
+
+TEST(BranchPredictorTest, BiasedOutcomesBetterThanRandom) {
+  BranchPredictor biased, random;
+  util::Rng rng(18);
+  for (int i = 0; i < 20000; ++i) {
+    biased.observe(0x40, rng.next_bool(0.9));
+    random.observe(0x40, rng.next_bool(0.5));
+  }
+  EXPECT_LT(biased.stats().miss_rate(), random.stats().miss_rate());
+}
+
+TEST(BranchPredictorTest, LearnsAlternatingPatternViaHistory) {
+  BranchPredictor predictor;
+  bool taken = false;
+  for (int i = 0; i < 4000; ++i) {
+    predictor.observe(0x50, taken);
+    taken = !taken;
+  }
+  // Gshare history should capture a period-2 pattern almost perfectly.
+  EXPECT_LT(predictor.stats().miss_rate(), 0.1);
+}
+
+TEST(BranchPredictorTest, CountsEveryBranch) {
+  BranchPredictor predictor;
+  for (int i = 0; i < 37; ++i) predictor.observe(i, i % 3 == 0);
+  EXPECT_EQ(predictor.stats().branches, 37u);
+}
+
+TEST(BranchPredictorTest, ResetClearsStats) {
+  BranchPredictor predictor;
+  predictor.observe(1, true);
+  predictor.reset_stats();
+  EXPECT_EQ(predictor.stats().branches, 0u);
+  EXPECT_EQ(predictor.stats().mispredicts, 0u);
+}
+
+TEST(BranchPredictorTest, InvalidTableBitsThrows) {
+  EXPECT_THROW(BranchPredictor(0), std::invalid_argument);
+  EXPECT_THROW(BranchPredictor(30), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edacloud::perf

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "cloud/mckp.hpp"
+#include "core/predictor.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::cloud {
+namespace {
+
+std::vector<MckpStage> simple_instance() {
+  std::vector<MckpStage> stages(2);
+  stages[0].items = {{100, 1.0, "a1"}, {40, 3.0, "a2"}};
+  stages[1].items = {{200, 2.0, "b1"}, {80, 5.0, "b2"}};
+  return stages;
+}
+
+TEST(BudgetTest, GenerousBudgetBuysTheFastestPlan) {
+  const auto selection = fastest_within_budget(simple_instance(), 100.0);
+  ASSERT_TRUE(selection.feasible);
+  EXPECT_DOUBLE_EQ(selection.total_time_seconds, 120.0);  // all-fastest
+}
+
+TEST(BudgetTest, TightBudgetBuysTheCheapestPlan) {
+  const auto selection = fastest_within_budget(simple_instance(), 3.0);
+  ASSERT_TRUE(selection.feasible);
+  EXPECT_DOUBLE_EQ(selection.total_cost_usd, 3.0);
+  EXPECT_DOUBLE_EQ(selection.total_time_seconds, 300.0);
+}
+
+TEST(BudgetTest, IntermediateBudgetLandsBetween) {
+  // $5 affords (40,$3)+(200,$2) = 240 s but not the $8 all-fastest.
+  const auto selection = fastest_within_budget(simple_instance(), 5.0);
+  ASSERT_TRUE(selection.feasible);
+  EXPECT_LE(selection.total_cost_usd, 5.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(selection.total_time_seconds, 240.0);
+}
+
+TEST(BudgetTest, ImpossibleBudgetIsInfeasible) {
+  EXPECT_FALSE(fastest_within_budget(simple_instance(), 1.0).feasible);
+}
+
+TEST(BudgetTest, TimeMonotoneInBudget) {
+  util::Rng rng(123);
+  std::vector<MckpStage> stages(3);
+  for (auto& stage : stages) {
+    double time = rng.next_double(100.0, 900.0);
+    double cost = rng.next_double(0.2, 1.0);
+    for (int j = 0; j < 4; ++j) {
+      stage.items.push_back({time, cost, ""});
+      time *= 0.6;
+      cost *= 1.4;
+    }
+  }
+  double previous_time = 1e300;
+  for (double budget : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    const auto selection = fastest_within_budget(stages, budget);
+    if (!selection.feasible) continue;
+    EXPECT_LE(selection.total_time_seconds, previous_time + 1e-9);
+    previous_time = selection.total_time_seconds;
+  }
+}
+
+}  // namespace
+}  // namespace edacloud::cloud
+
+namespace edacloud::core {
+namespace {
+
+TEST(PredictorPersistenceTest, SaveLoadRoundTrip) {
+  // A tiny synthetic-dataset train, then dump + restore + compare.
+  PredictorOptions options;
+  options.gcn = ml::GcnConfig::fast();
+  options.gcn.hidden1 = 8;
+  options.gcn.hidden2 = 8;
+  options.gcn.fc = 8;
+  options.gcn.epochs = 5;
+
+  Dataset dataset;
+  util::Rng rng(7);
+  for (std::uint32_t d = 0; d < 12; ++d) {
+    for (JobKind job : kAllJobs) {
+      ml::GraphSample sample;
+      const std::size_t n = 8 + 2 * d;
+      std::vector<std::pair<nl::VertexId, nl::VertexId>> edges;
+      for (std::size_t i = 1; i < n; ++i) {
+        edges.emplace_back(static_cast<nl::VertexId>(rng.next_below(i)),
+                           static_cast<nl::VertexId>(i));
+      }
+      sample.in_neighbors = nl::transpose(nl::build_csr(n, edges));
+      sample.features = ml::Matrix(n, 20);
+      for (std::size_t v = 0; v < n; ++v) {
+        sample.features.at(v, 19) = 1.0;
+      }
+      const double base = std::log(static_cast<double>(n));
+      sample.log_runtimes = {base, base - 0.3, base - 0.5, base - 0.6};
+      sample.family_id = d;
+      dataset.samples[static_cast<int>(job)].push_back(std::move(sample));
+    }
+  }
+  dataset.design_count = 12;
+  dataset.netlist_count = 12;
+
+  RuntimePredictor predictor(options);
+  predictor.train(dataset);
+  const std::string blob = predictor.save();
+
+  RuntimePredictor restored(options);
+  ASSERT_TRUE(restored.load(blob));
+  for (JobKind job : kAllJobs) {
+    ASSERT_EQ(restored.trained(job), predictor.trained(job));
+    if (!predictor.trained(job)) continue;
+    const auto& sample = dataset.samples[static_cast<int>(job)].front();
+    const auto a = predictor.predict(job, sample);
+    const auto b = restored.predict(job, sample);
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(PredictorPersistenceTest, RejectsGarbage) {
+  RuntimePredictor predictor;
+  EXPECT_FALSE(predictor.load("nonsense"));
+  EXPECT_FALSE(predictor.load(""));
+}
+
+}  // namespace
+}  // namespace edacloud::core

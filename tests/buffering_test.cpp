@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "nl/netlist_sim.hpp"
+#include "sta/sta.hpp"
+#include "synth/buffering.hpp"
+#include "synth/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::synth {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+/// A netlist with one driver fanning out to `sinks` inverters.
+nl::Netlist high_fanout_net(int sinks) {
+  nl::Netlist n("hfn", &library());
+  const auto a = n.add_input();
+  const auto driver = n.add_cell(*library().find("BUF_X1"), {a});
+  for (int i = 0; i < sinks; ++i) {
+    n.add_output(n.add_cell(*library().find("INV_X1"), {driver}));
+  }
+  return n;
+}
+
+TEST(BufferingTest, CapsMaxFanout) {
+  const nl::Netlist netlist = high_fanout_net(40);
+  BufferingOptions options;
+  options.max_fanout = 6;
+  const BufferingResult result = buffer_high_fanout(netlist, options);
+  EXPECT_GT(result.max_fanout_before, 6u);
+  EXPECT_LE(result.max_fanout_after, 6u);
+  EXPECT_GT(result.buffers_inserted, 0);
+  std::string error;
+  EXPECT_TRUE(result.netlist.validate(&error)) << error;
+}
+
+TEST(BufferingTest, PreservesLogicFunction) {
+  const nl::Netlist netlist = high_fanout_net(25);
+  const BufferingResult result = buffer_high_fanout(netlist, {4});
+  util::Rng rng(9);
+  const std::vector<std::uint64_t> words = {rng()};
+  EXPECT_EQ(nl::simulate(netlist, words),
+            nl::simulate(result.netlist, words));
+}
+
+TEST(BufferingTest, NoOpWhenWithinLimit) {
+  const nl::Netlist netlist = high_fanout_net(5);
+  BufferingOptions options;
+  options.max_fanout = 8;
+  const BufferingResult result = buffer_high_fanout(netlist, options);
+  EXPECT_EQ(result.buffers_inserted, 0);
+  EXPECT_EQ(result.netlist.stats().instance_count,
+            netlist.stats().instance_count);
+}
+
+TEST(BufferingTest, ReducesWorstLoadDelay) {
+  // The unbuffered driver sees the full sink capacitance; after buffering
+  // its load shrinks, and so does the critical path through that net.
+  const nl::Netlist netlist = high_fanout_net(48);
+  const BufferingResult result = buffer_high_fanout(netlist, {6});
+  sta::StaEngine engine;
+  const double before =
+      engine.run(netlist, nullptr, {}).critical_path_ps;
+  const double after =
+      engine.run(result.netlist, nullptr, {}).critical_path_ps;
+  EXPECT_LT(after, before);
+}
+
+TEST(BufferingTest, SynthesizedDesignStaysEquivalent) {
+  SynthesisEngine engine(library());
+  const nl::Netlist netlist =
+      engine.synthesize(workloads::gen_decoder(5), default_recipe())
+          .netlist;
+  const BufferingResult result = buffer_high_fanout(netlist, {4});
+  util::Rng rng(11);
+  std::vector<std::uint64_t> words(netlist.inputs().size());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(nl::simulate(netlist, words),
+            nl::simulate(result.netlist, words));
+  EXPECT_LE(result.max_fanout_after, 4u);
+}
+
+TEST(BufferingTest, InvalidLimitThrows) {
+  const nl::Netlist netlist = high_fanout_net(4);
+  EXPECT_THROW(buffer_high_fanout(netlist, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edacloud::synth

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "nl/cell_library.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+TEST(CellLibraryTest, Generic14HasExpectedCells) {
+  const CellLibrary lib = make_generic_14nm_library();
+  EXPECT_GT(lib.size(), 10u);
+  for (const char* name :
+       {"INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "OR2_X1", "XOR2_X1",
+        "XNOR2_X1", "AOI21_X1", "OAI21_X1", "MUX2_X1", "MAJ3_X1", "BUF_X1"}) {
+    EXPECT_TRUE(lib.find(name).has_value()) << name;
+  }
+}
+
+TEST(CellLibraryTest, FindMissingReturnsNullopt) {
+  const CellLibrary lib = make_generic_14nm_library();
+  EXPECT_FALSE(lib.find("DFF_X1").has_value());
+}
+
+TEST(CellLibraryTest, DuplicateNameThrows) {
+  CellLibrary lib("test");
+  Cell cell;
+  cell.name = "X";
+  lib.add_cell(cell);
+  EXPECT_THROW(lib.add_cell(cell), std::invalid_argument);
+}
+
+TEST(CellLibraryTest, CellsWithFunctionSortedByArea) {
+  const CellLibrary lib = make_generic_14nm_library();
+  const auto inverters = lib.cells_with_function(CellFunction::kInv);
+  ASSERT_GE(inverters.size(), 2u);
+  for (std::size_t i = 1; i < inverters.size(); ++i) {
+    EXPECT_LE(lib.cell(inverters[i - 1]).area_um2,
+              lib.cell(inverters[i]).area_um2);
+  }
+}
+
+TEST(CellLibraryTest, DelayGrowsWithLoad) {
+  const CellLibrary lib = make_generic_14nm_library();
+  const Cell& inv = lib.cell(*lib.find("INV_X1"));
+  EXPECT_LT(inv.delay_ps(1.0), inv.delay_ps(10.0));
+}
+
+TEST(CellLibraryTest, StrongerDriveHasLowerSlope) {
+  const CellLibrary lib = make_generic_14nm_library();
+  const Cell& x1 = lib.cell(*lib.find("INV_X1"));
+  const Cell& x4 = lib.cell(*lib.find("INV_X4"));
+  EXPECT_GT(x1.drive_res_kohm, x4.drive_res_kohm);
+  EXPECT_LT(x1.area_um2, x4.area_um2);
+}
+
+TEST(CellLibraryTest, ArityMatchesFunctionClass) {
+  const CellLibrary lib = make_generic_14nm_library();
+  for (CellId id = 0; id < lib.size(); ++id) {
+    const Cell& cell = lib.cell(id);
+    switch (cell.function) {
+      case CellFunction::kBuf:
+      case CellFunction::kInv:
+        EXPECT_EQ(cell.input_count, 1) << cell.name;
+        break;
+      case CellFunction::kAnd:
+      case CellFunction::kOr:
+      case CellFunction::kNand:
+      case CellFunction::kNor:
+      case CellFunction::kXor:
+      case CellFunction::kXnor:
+        EXPECT_EQ(cell.input_count, 2) << cell.name;
+        break;
+      case CellFunction::kAoi:
+      case CellFunction::kOai:
+      case CellFunction::kMux:
+      case CellFunction::kMaj:
+        EXPECT_EQ(cell.input_count, 3) << cell.name;
+        break;
+    }
+  }
+}
+
+TEST(CellLibraryTest, WireParasiticsPositive) {
+  const CellLibrary lib = make_generic_14nm_library();
+  EXPECT_GT(lib.wire_cap_per_um(), 0.0);
+  EXPECT_GT(lib.wire_res_per_um(), 0.0);
+}
+
+TEST(CellLibraryTest, ToStringCoversAllFunctions) {
+  EXPECT_EQ(to_string(CellFunction::kNand), "NAND");
+  EXPECT_EQ(to_string(CellFunction::kMaj), "MAJ");
+  EXPECT_EQ(to_string(CellFunction::kMux), "MUX");
+}
+
+}  // namespace
+}  // namespace edacloud::nl

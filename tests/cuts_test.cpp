@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "synth/cuts.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::synth {
+namespace {
+
+using nl::Aig;
+using nl::Literal;
+using nl::literal_not;
+
+TEST(CutSetTest, PushDeduplicatesLeafSets) {
+  CutSet set;
+  Cut cut;
+  cut.size = 2;
+  cut.leaves[0] = 1;
+  cut.leaves[1] = 2;
+  cut.table = 0x8888;
+  set.push(cut);
+  set.push(cut);
+  EXPECT_EQ(set.count, 1);
+}
+
+TEST(CutSetTest, FullSetPrefersSmallCuts) {
+  CutSet set;
+  for (int i = 0; i < CutSet::kCapacity; ++i) {
+    Cut cut;
+    cut.size = 4;
+    for (int l = 0; l < 4; ++l) {
+      cut.leaves[l] = static_cast<nl::AigNode>(10 * i + l + 1);
+    }
+    set.push(cut);
+  }
+  Cut small;
+  small.size = 2;
+  small.leaves[0] = 500;
+  small.leaves[1] = 501;
+  set.push(small);
+  bool found = false;
+  for (int i = 0; i < set.count; ++i) {
+    if (set[i].size == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExpandTableTest, IdentityWhenLeafSetsMatch) {
+  std::array<nl::AigNode, 4> leaves = {1, 2, 0, 0};
+  EXPECT_EQ(expand_table(0x8888, leaves, 2, leaves, 2), 0x8888);
+}
+
+TEST(ExpandTableTest, InsertsNewVariable) {
+  // f(x0) = x0 over leaves {5}; expand to leaves {3, 5}: x becomes var 1.
+  std::array<nl::AigNode, 4> from = {5, 0, 0, 0};
+  std::array<nl::AigNode, 4> to = {3, 5, 0, 0};
+  EXPECT_EQ(expand_table(kVarMask[0], from, 1, to, 2), kVarMask[1]);
+}
+
+TEST(MergeCutsTest, UnionAndTruthTable) {
+  Cut a;
+  a.size = 1;
+  a.leaves[0] = 1;
+  a.table = kVarMask[0];
+  Cut b;
+  b.size = 1;
+  b.leaves[0] = 2;
+  b.table = kVarMask[0];
+  Cut out;
+  ASSERT_TRUE(merge_cuts(a, false, b, false, out));
+  EXPECT_EQ(out.size, 2);
+  EXPECT_EQ(out.leaves[0], 1u);
+  EXPECT_EQ(out.leaves[1], 2u);
+  EXPECT_EQ(out.table, kVarMask[0] & kVarMask[1]);
+}
+
+TEST(MergeCutsTest, ComplementsApplied) {
+  Cut a;
+  a.size = 1;
+  a.leaves[0] = 1;
+  a.table = kVarMask[0];
+  Cut b = a;
+  Cut out;
+  ASSERT_TRUE(merge_cuts(a, true, b, false, out));
+  // !x & x == 0.
+  EXPECT_EQ(out.table, 0);
+}
+
+TEST(MergeCutsTest, OverflowRejected) {
+  Cut a;
+  a.size = 4;
+  a.leaves = {1, 2, 3, 4};
+  Cut b;
+  b.size = 2;
+  b.leaves[0] = 9;
+  b.leaves[1] = 10;
+  Cut out;
+  EXPECT_FALSE(merge_cuts(a, false, b, false, out));
+}
+
+/// Verify cut truth tables against simulation: for every cut of every node,
+/// evaluating the cut function on the leaves must reproduce the node value.
+void check_cut_tables(const Aig& aig) {
+  const auto cuts = enumerate_cuts(aig);
+  util::Rng rng(55);
+  std::vector<std::uint64_t> words(aig.input_count());
+  for (auto& w : words) w = rng();
+
+  // Node values via direct simulation of all nodes.
+  std::vector<std::uint64_t> value(aig.node_count(), 0);
+  for (std::size_t i = 0; i < aig.inputs().size(); ++i) {
+    value[aig.inputs()[i]] = words[i];
+  }
+  auto lit_value = [&value](Literal lit) {
+    const std::uint64_t v = value[nl::literal_node(lit)];
+    return nl::literal_complemented(lit) ? ~v : v;
+  };
+  for (nl::AigNode node = 0; node < aig.node_count(); ++node) {
+    if (!aig.is_and(node)) continue;
+    value[node] = lit_value(aig.fanin0(node)) & lit_value(aig.fanin1(node));
+  }
+
+  for (nl::AigNode node = 0; node < aig.node_count(); ++node) {
+    if (!aig.is_and(node)) continue;
+    const CutSet& set = cuts[node];
+    ASSERT_GT(set.count, 0);
+    for (int c = 0; c < set.count; ++c) {
+      const Cut& cut = set[c];
+      // Evaluate the 16-bit table bit-parallel over leaf values.
+      std::uint64_t result = 0;
+      for (int bit = 0; bit < 64; ++bit) {
+        int row = 0;
+        for (int l = 0; l < cut.size; ++l) {
+          if ((value[cut.leaves[l]] >> bit) & 1ULL) row |= 1 << l;
+        }
+        if ((cut.table >> row) & 1) result |= 1ULL << bit;
+      }
+      EXPECT_EQ(result, value[node])
+          << "node " << node << " cut " << c << " size "
+          << static_cast<int>(cut.size);
+    }
+  }
+}
+
+TEST(EnumerateCutsTest, TablesMatchSimulationOnAdder) {
+  check_cut_tables(workloads::gen_adder(6));
+}
+
+TEST(EnumerateCutsTest, TablesMatchSimulationOnAlu) {
+  check_cut_tables(workloads::gen_alu(4));
+}
+
+TEST(EnumerateCutsTest, TablesMatchSimulationOnRandomLogic) {
+  check_cut_tables(workloads::gen_cavlc(6, 3));
+}
+
+TEST(EnumerateCutsTest, EveryNodeHasTrivialCut) {
+  const Aig aig = workloads::gen_parity(8);
+  const auto cuts = enumerate_cuts(aig);
+  for (nl::AigNode node = 0; node < aig.node_count(); ++node) {
+    if (!aig.is_and(node)) continue;
+    bool trivial_found = false;
+    for (int c = 0; c < cuts[node].count; ++c) {
+      if (cuts[node][c].size == 1 && cuts[node][c].leaves[0] == node) {
+        trivial_found = true;
+      }
+    }
+    EXPECT_TRUE(trivial_found) << node;
+  }
+}
+
+}  // namespace
+}  // namespace edacloud::synth

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/characterize.hpp"
+#include "core/flow.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::core {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+std::vector<perf::VmConfig> gp_ladder() {
+  const auto ladder = perf::vm_ladder(perf::InstanceFamily::kGeneralPurpose);
+  return {ladder.begin(), ladder.end()};
+}
+
+TEST(FlowTest, RunsAllFourStages) {
+  EdaFlow flow(library());
+  const nl::Aig design = workloads::gen_alu(8);
+  const FlowResult result = flow.run(design, gp_ladder());
+
+  EXPECT_GT(result.synthesis.mapped.cell_count, 0u);
+  EXPECT_TRUE(result.placement.placement.valid_for(
+      result.synthesis.mapped.netlist));
+  EXPECT_GT(result.routing.routed_count, 0u);
+  EXPECT_GT(result.timing.critical_path_ps, 0.0);
+
+  for (JobKind job : kAllJobs) {
+    const auto& measurement = result.measurement(job);
+    ASSERT_EQ(measurement.runtime_seconds.size(), 4u) << job_name(job);
+    for (double runtime : measurement.runtime_seconds) {
+      EXPECT_GT(runtime, 0.0);
+    }
+  }
+}
+
+TEST(FlowTest, UninstrumentedRunSkipsMeasurements) {
+  EdaFlow flow(library());
+  const FlowResult result = flow.run(workloads::gen_adder(8), {});
+  EXPECT_GT(result.synthesis.mapped.cell_count, 0u);
+  EXPECT_TRUE(result.measurement(JobKind::kSynthesis).runtime_seconds.empty());
+}
+
+TEST(FlowTest, CalibrationScalesRuntimesLinearly) {
+  FlowOptions options;
+  options.calibration.time_scale = {1.0, 1.0, 1.0, 1.0};
+  EdaFlow base(library(), options);
+  const auto base_result = base.run(workloads::gen_adder(12), gp_ladder());
+
+  options.calibration.time_scale = {10.0, 10.0, 10.0, 10.0};
+  EdaFlow scaled(library(), options);
+  const auto scaled_result =
+      scaled.run(workloads::gen_adder(12), gp_ladder());
+
+  for (JobKind job : kAllJobs) {
+    const double a =
+        base_result.measurement(job).runtime_seconds[0];
+    const double b =
+        scaled_result.measurement(job).runtime_seconds[0];
+    EXPECT_NEAR(b, 10.0 * a, 1e-6 * b) << job_name(job);
+  }
+}
+
+TEST(FlowTest, JobNamesAreStable) {
+  EXPECT_EQ(job_name(JobKind::kSynthesis), "synthesis");
+  EXPECT_EQ(job_name(JobKind::kPlacement), "placement");
+  EXPECT_EQ(job_name(JobKind::kRouting), "routing");
+  EXPECT_EQ(job_name(JobKind::kSta), "sta");
+}
+
+TEST(CharacterizeTest, RecommendationsMatchPaper) {
+  EXPECT_EQ(recommended_family(JobKind::kSynthesis),
+            perf::InstanceFamily::kGeneralPurpose);
+  EXPECT_EQ(recommended_family(JobKind::kSta),
+            perf::InstanceFamily::kGeneralPurpose);
+  EXPECT_EQ(recommended_family(JobKind::kPlacement),
+            perf::InstanceFamily::kMemoryOptimized);
+  EXPECT_EQ(recommended_family(JobKind::kRouting),
+            perf::InstanceFamily::kMemoryOptimized);
+}
+
+TEST(CharacterizeTest, ReportContainsBothFamilies) {
+  Characterizer characterizer(library());
+  const auto report =
+      characterizer.characterize(workloads::gen_sparc_core(12, 3));
+  EXPECT_EQ(report.rows.size(), 8u);  // 4 jobs x 2 families
+  for (JobKind job : kAllJobs) {
+    EXPECT_NE(report.find(job, perf::InstanceFamily::kGeneralPurpose),
+              nullptr);
+    EXPECT_NE(report.find(job, perf::InstanceFamily::kMemoryOptimized),
+              nullptr);
+  }
+}
+
+TEST(CharacterizeTest, Fig2ShapesHoldOnMediumDesign) {
+  Characterizer characterizer(library());
+  const auto report =
+      characterizer.characterize(workloads::gen_sparc_core(24, 26));
+  const auto family = perf::InstanceFamily::kGeneralPurpose;
+
+  const auto* synthesis = report.find(JobKind::kSynthesis, family);
+  const auto* placement = report.find(JobKind::kPlacement, family);
+  const auto* routing = report.find(JobKind::kRouting, family);
+  const auto* sta = report.find(JobKind::kSta, family);
+  ASSERT_NE(synthesis, nullptr);
+  ASSERT_NE(placement, nullptr);
+  ASSERT_NE(routing, nullptr);
+  ASSERT_NE(sta, nullptr);
+
+  // (a) routing has the highest branch-miss rate.
+  EXPECT_GT(routing->branch_miss_rate[0], synthesis->branch_miss_rate[0]);
+  EXPECT_GT(routing->branch_miss_rate[0], placement->branch_miss_rate[0]);
+  EXPECT_GT(routing->branch_miss_rate[0], sta->branch_miss_rate[0]);
+
+  // (b) placement's cache-miss rate is highest and falls with vCPUs.
+  EXPECT_GT(placement->llc_miss_rate[0], synthesis->llc_miss_rate[0]);
+  EXPECT_GT(placement->llc_miss_rate[0], placement->llc_miss_rate[3]);
+
+  // (c) placement has the largest AVX share, STA second.
+  EXPECT_GT(placement->avx_fraction[0], sta->avx_fraction[0]);
+  EXPECT_GT(sta->avx_fraction[0], synthesis->avx_fraction[0]);
+  EXPECT_GT(sta->avx_fraction[0], routing->avx_fraction[0]);
+
+  // (d) routing scales best at 8 vCPUs.
+  EXPECT_GT(routing->speedup[3], synthesis->speedup[3]);
+  EXPECT_GT(routing->speedup[3], placement->speedup[3]);
+  EXPECT_GT(routing->speedup[3], sta->speedup[3]);
+}
+
+TEST(CharacterizeTest, RoutingScalingOrderedBySize) {
+  Characterizer characterizer(library());
+  const std::vector<workloads::NamedDesign> designs = {
+      {"small", {"dynamic_node", 3, 1}},
+      {"large", {"sparc_core", 16, 1}},
+  };
+  const auto points = characterizer.routing_scaling(designs);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_LE(points[0].instance_count, points[1].instance_count);
+  // Larger design speeds up at least comparably at 8 vCPUs (Fig. 3).
+  EXPECT_GE(points[1].speedup[3], points[0].speedup[3] * 0.8);
+}
+
+}  // namespace
+}  // namespace edacloud::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nl/graph.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+Csr diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  return build_csr(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+}
+
+TEST(CsrTest, BuildCountsEdges) {
+  const Csr g = diamond();
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(CsrTest, RangeContainsTargets) {
+  const Csr g = diamond();
+  const auto [begin, end] = g.range(0);
+  std::vector<VertexId> targets(g.targets.begin() + begin,
+                                g.targets.begin() + end);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets, (std::vector<VertexId>{1, 2}));
+}
+
+TEST(CsrTest, EmptyGraph) {
+  const Csr g = build_csr(0, {});
+  EXPECT_EQ(g.vertex_count(), 0u);
+  EXPECT_TRUE(is_dag(g));
+  EXPECT_TRUE(topological_order(g).empty());
+}
+
+TEST(TransposeTest, ReversesEdges) {
+  const Csr g = diamond();
+  const Csr t = transpose(g);
+  EXPECT_EQ(t.edge_count(), g.edge_count());
+  EXPECT_EQ(t.degree(3), 2u);
+  EXPECT_EQ(t.degree(0), 0u);
+}
+
+TEST(TransposeTest, DoubleTransposeIsIdentityUpToOrder) {
+  const Csr g = diamond();
+  const Csr tt = transpose(transpose(g));
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g.degree(v), tt.degree(v));
+  }
+}
+
+TEST(TopoTest, ValidOrderOnDag) {
+  const Csr g = diamond();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (VertexId v = 0; v < 4; ++v) {
+    const auto [begin, end] = g.range(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      EXPECT_LT(position[v], position[g.targets[e]]);
+    }
+  }
+}
+
+TEST(TopoTest, CycleReturnsEmpty) {
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(topological_order(g).empty());
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(TopoTest, SelfLoopIsCycle) {
+  const Csr g = build_csr(2, {{0, 0}, {0, 1}});
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(LevelsTest, DiamondLevels) {
+  const auto levels = longest_path_levels(diamond());
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], 0u);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[2], 1u);
+  EXPECT_EQ(levels[3], 2u);
+}
+
+TEST(LevelsTest, LongestPathWins) {
+  // 0 -> 1 -> 2 -> 3 and 0 -> 3.
+  const Csr g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const auto levels = longest_path_levels(g);
+  EXPECT_EQ(levels[3], 3u);
+}
+
+// Property sweep: random DAGs (edges only forward) always topo-sort, and
+// every level is consistent with the edge relation.
+class RandomDagTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomDagTest, TopoAndLevelsConsistent) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 50 + rng.next_below(200);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t i = 0; i < 3 * n; ++i) {
+    const auto a = rng.next_below(n);
+    const auto b = rng.next_below(n);
+    if (a < b) edges.emplace_back(static_cast<VertexId>(a),
+                                  static_cast<VertexId>(b));
+  }
+  const Csr g = build_csr(n, edges);
+  EXPECT_TRUE(is_dag(g));
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), n);
+  const auto levels = longest_path_levels(g);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto [begin, end] = g.range(v);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      EXPECT_GT(levels[g.targets[e]], levels[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace edacloud::nl

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "perf/instrument.hpp"
+
+namespace edacloud::perf {
+namespace {
+
+std::vector<VmConfig> gp_ladder() {
+  const auto ladder = vm_ladder(InstanceFamily::kGeneralPurpose);
+  return {ladder.begin(), ladder.end()};
+}
+
+TEST(InstrumentTest, DisabledInstrumentCountsNothing) {
+  Instrument instrument;
+  EXPECT_FALSE(instrument.enabled());
+  instrument.load(0);
+  instrument.int_ops(100);
+  instrument.branch(1, true);
+  // No configs: counts() has nothing to index; enabled() is the contract.
+}
+
+TEST(InstrumentTest, EmptyConfigListThrows) {
+  EXPECT_THROW(Instrument(std::vector<VmConfig>{}), std::invalid_argument);
+}
+
+TEST(InstrumentTest, OpCountsAccumulate) {
+  Instrument instrument(gp_ladder(), 1);
+  instrument.int_ops(10);
+  instrument.fp_ops(5);
+  instrument.avx_ops(3);
+  instrument.load(0);
+  instrument.store(64);
+  const OpCounts counts = instrument.counts(0);
+  EXPECT_EQ(counts.int_ops, 10u);
+  EXPECT_EQ(counts.fp_ops, 5u);
+  EXPECT_EQ(counts.avx_ops, 3u);
+  EXPECT_EQ(counts.loads, 1u);
+  EXPECT_EQ(counts.stores, 1u);
+}
+
+TEST(InstrumentTest, BranchStatsSharedAcrossConfigs) {
+  Instrument instrument(gp_ladder(), 1);
+  for (int i = 0; i < 100; ++i) instrument.branch(7, true);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(instrument.counts(c).branches, 100u);
+  }
+}
+
+TEST(InstrumentTest, SamplingScalesReportedAccesses) {
+  Instrument instrument(gp_ladder(), 4);
+  for (int i = 0; i < 400; ++i) {
+    instrument.load(static_cast<std::uint64_t>(i) * 64);
+  }
+  const OpCounts counts = instrument.counts(0);
+  // 100 sampled accesses scaled back by 4.
+  EXPECT_EQ(counts.l1_accesses, 400u);
+  EXPECT_EQ(counts.loads, 400u);
+}
+
+TEST(InstrumentTest, LargerLlcSliceMissesLess) {
+  // Stream a working set that exceeds the 1-vCPU LLC slice but fits the
+  // 8-vCPU slice: the big slice must see a lower (or equal) miss rate.
+  Instrument instrument(gp_ladder(), 1);
+  const auto& small = instrument.configs().front();
+  const std::uint64_t working_set = small.llc_bytes * 3;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t addr = 0; addr < working_set; addr += 64) {
+      instrument.load(addr);
+    }
+  }
+  const double small_rate = instrument.counts(0).llc_miss_rate();
+  const double big_rate = instrument.counts(3).llc_miss_rate();
+  EXPECT_GT(small_rate, big_rate);
+}
+
+TEST(InstrumentTest, PrivateAccessesGrowFootprintWithVcpus) {
+  // Thread-private arrays: repeated sweeps of a small private region by
+  // many streams. On 1 vCPU all streams share one array (hits); on 8
+  // vCPUs eight copies compete, raising misses.
+  Instrument instrument(gp_ladder(), 1);
+  for (int rep = 0; rep < 40; ++rep) {
+    for (std::uint32_t stream = 0; stream < 16; ++stream) {
+      for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64) {
+        instrument.load_private(addr, stream);
+      }
+    }
+  }
+  const auto c0 = instrument.counts(0);
+  const auto c3 = instrument.counts(3);
+  // Private L1s keep L1 behaviour identical; the shared LLC sees k times
+  // the footprint, so the per-byte relief of the bigger slice shrinks.
+  EXPECT_EQ(c3.l1_misses, c0.l1_misses);
+  EXPECT_GT(c3.llc_misses + c0.llc_misses, 0u);
+}
+
+TEST(InstrumentTest, CountsIndexOutOfRangeThrows) {
+  Instrument instrument(gp_ladder(), 1);
+  EXPECT_THROW((void)instrument.counts(4), std::out_of_range);
+}
+
+TEST(InstrumentTest, AvxFractionComputation) {
+  Instrument instrument(gp_ladder(), 1);
+  instrument.int_ops(50);
+  instrument.avx_ops(50);
+  EXPECT_DOUBLE_EQ(instrument.counts(0).avx_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace edacloud::perf

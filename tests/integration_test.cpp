@@ -1,0 +1,191 @@
+// End-to-end integration: the complete Fig. 1 workflow and the extension
+// paths, exercised together on real designs with cross-module invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/batch.hpp"
+#include "core/characterize.hpp"
+#include "core/optimizer.hpp"
+#include "core/report.hpp"
+#include "nl/aiger.hpp"
+#include "nl/netlist_sim.hpp"
+#include "nl/verilog.hpp"
+#include "route/layers.hpp"
+#include "sim/simulator.hpp"
+#include "sta/sizing.hpp"
+#include "synth/buffering.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+TEST(IntegrationTest, CharacterizeOptimizeReportPipeline) {
+  const nl::Aig design = workloads::gen_mem_ctrl(4, 7);
+  core::Characterizer characterizer(library());
+  const auto characterization = characterizer.characterize(design);
+
+  core::RuntimeLadders ladders{};
+  for (core::JobKind job : core::kAllJobs) {
+    const auto* row = characterization.find(
+        job, core::recommended_family(job));
+    ASSERT_NE(row, nullptr);
+    ladders[static_cast<int>(job)] = row->runtime_seconds;
+    // Runtimes are positive and weakly improving with vCPUs (within 10%).
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_GT(row->runtime_seconds[i], 0.0);
+    }
+    EXPECT_LE(row->runtime_seconds[3], row->runtime_seconds[0] * 1.1);
+  }
+
+  core::DeploymentOptimizer optimizer;
+  const auto stages = optimizer.build_stages(ladders);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  core::ReportInputs inputs;
+  inputs.characterization = characterization;
+  inputs.deadline_seconds = fastest * 1.4;
+  inputs.plan = optimizer.optimize(ladders, inputs.deadline_seconds);
+  inputs.savings = optimizer.savings(ladders, inputs.deadline_seconds);
+  ASSERT_TRUE(inputs.plan.feasible);
+  EXPECT_LE(inputs.plan.total_runtime_seconds,
+            inputs.deadline_seconds + 1.0);
+  EXPECT_LE(inputs.plan.total_cost_usd,
+            inputs.savings.over_provision_cost_usd + 1e-9);
+
+  const std::string markdown = core::markdown_report(inputs);
+  EXPECT_NE(markdown.find("Deployment plan"), std::string::npos);
+}
+
+TEST(IntegrationTest, PhysicalPipelineInvariantsHold) {
+  // synthesis -> buffering -> sizing -> placement -> routing -> layers,
+  // with functional equivalence maintained throughout.
+  const nl::Aig design = workloads::gen_alu(12);
+  synth::SynthesisEngine synthesis(library());
+  const nl::Netlist mapped =
+      synthesis.synthesize(design, synth::default_recipe()).netlist;
+
+  const auto buffered = synth::buffer_high_fanout(mapped, {6});
+  sta::StaOptions timing_options;
+  sta::StaEngine probe;
+  timing_options.clock_period_ps =
+      probe.run(buffered.netlist, nullptr, {}).critical_path_ps * 0.95;
+  sta::StaEngine engine(timing_options);
+  const auto sized = sta::size_gates(buffered.netlist, nullptr, engine);
+
+  // Function preserved through the whole chain.
+  util::Rng rng(17);
+  std::vector<std::uint64_t> words(design.input_count());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(design.simulate(words), nl::simulate(sized.netlist, words));
+
+  place::QuadraticPlacer placer;
+  const auto placement = placer.place(sized.netlist);
+  route::GridRouter router;
+  const auto routing = router.run(sized.netlist, placement, {});
+  EXPECT_EQ(routing.routed_count, routing.connection_count);
+
+  const auto layers = route::assign_layers(routing);
+  EXPECT_GT(layers.via_count, 0u);
+}
+
+TEST(IntegrationTest, InterchangeFormatsComposeAcrossTheFlow) {
+  // AIGER in -> synthesis -> Verilog out -> parse -> simulate == original.
+  const nl::Aig original = workloads::gen_comparator(6);
+  const auto aig_round = nl::parse_aiger(nl::write_aiger(original));
+  ASSERT_TRUE(aig_round.ok);
+
+  synth::SynthesisEngine synthesis(library());
+  const nl::Netlist netlist =
+      synthesis.synthesize(aig_round.aig, synth::default_recipe()).netlist;
+  const auto verilog_round =
+      nl::parse_verilog(nl::write_verilog(netlist), library());
+  ASSERT_TRUE(verilog_round.ok) << verilog_round.error;
+
+  util::Rng rng(21);
+  std::vector<std::uint64_t> words(original.input_count());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(original.simulate(words),
+            nl::simulate(verilog_round.netlist, words));
+}
+
+TEST(IntegrationTest, BatchPlanNeverWorseThanIndependentPlans) {
+  // Joint optimization with a shared deadline must cost no more than
+  // splitting the deadline proportionally across designs.
+  core::Characterizer characterizer(library());
+  std::vector<core::BatchDesign> designs;
+  std::vector<core::RuntimeLadders> ladders_list;
+  for (const char* family : {"adder", "decoder"}) {
+    workloads::BenchmarkSpec spec;
+    spec.family = family;
+    spec.size = family == std::string("adder") ? 32 : 6;
+    spec.seed = 5;
+    const nl::Aig aig = workloads::generate(spec);
+    const auto report = characterizer.characterize(aig);
+    core::BatchDesign design;
+    design.name = family;
+    for (core::JobKind job : core::kAllJobs) {
+      const auto* row = report.find(job, core::recommended_family(job));
+      ASSERT_NE(row, nullptr);
+      design.ladders[static_cast<int>(job)] = row->runtime_seconds;
+    }
+    ladders_list.push_back(design.ladders);
+    designs.push_back(std::move(design));
+  }
+
+  core::BatchPlanner planner;
+  core::DeploymentOptimizer optimizer;
+  const auto stages = planner.build_stages(designs);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const double deadline = fastest * 1.5;
+
+  const auto joint = planner.plan(designs, deadline);
+  ASSERT_TRUE(joint.feasible);
+
+  // Proportional split baseline.
+  double split_cost = 0.0;
+  bool split_feasible = true;
+  for (const auto& ladders : ladders_list) {
+    const auto design_stages = optimizer.build_stages(ladders);
+    const double share =
+        deadline * cloud::fastest_completion_seconds(design_stages) /
+        fastest;
+    const auto plan = optimizer.optimize(ladders, share);
+    if (!plan.feasible) {
+      split_feasible = false;
+      break;
+    }
+    split_cost += plan.total_cost_usd;
+  }
+  if (split_feasible) {
+    EXPECT_LE(joint.total_cost_usd, split_cost + 1e-9);
+  }
+}
+
+TEST(IntegrationTest, MeasuredActivityTightensPowerEstimate) {
+  const nl::Aig design = workloads::gen_parity(32);
+  synth::SynthesisEngine synthesis(library());
+  const nl::Netlist netlist =
+      synthesis.synthesize(design, synth::default_recipe()).netlist;
+
+  sim::SimulationEngine simulator;
+  const auto activity = simulator.run(netlist, {});
+
+  sta::StaOptions assumed;  // default activity_factor = 0.1
+  sta::StaOptions measured = assumed;
+  measured.activity_factor = activity.average_toggle_rate;
+  const double assumed_power =
+      sta::StaEngine(assumed).run(netlist, nullptr, {}).dynamic_power_uw;
+  const double measured_power =
+      sta::StaEngine(measured).run(netlist, nullptr, {}).dynamic_power_uw;
+  // XOR trees toggle roughly half the time under random vectors — far
+  // above the 10% textbook default.
+  EXPECT_GT(measured_power, assumed_power * 2.0);
+}
+
+}  // namespace
+}  // namespace edacloud

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "place/placer.hpp"
+#include "route/layers.hpp"
+#include "synth/engine.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::route {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+RoutingResult route_design(const nl::Aig& aig) {
+  synth::SynthesisEngine engine(library());
+  const nl::Netlist netlist =
+      engine.synthesize(aig, synth::default_recipe()).netlist;
+  place::QuadraticPlacer placer;
+  const auto placement = placer.place(netlist);
+  GridRouter router;
+  return router.run(netlist, placement, {});
+}
+
+TEST(LayerAssignmentTest, EveryRoutedEdgeAssigned) {
+  const RoutingResult routing = route_design(workloads::gen_alu(8));
+  ASSERT_FALSE(routing.connection_edges.empty());
+  const LayerReport report = assign_layers(routing);
+  EXPECT_EQ(report.horizontal_layers, 2);
+  EXPECT_EQ(report.vertical_layers, 2);
+  EXPECT_GT(report.segment_count, 0u);
+  // Each path pays at least pin-access vias.
+  EXPECT_GE(report.via_count, 2 * routing.routed_count);
+}
+
+TEST(LayerAssignmentTest, UtilizationConservesWirelength) {
+  const RoutingResult routing = route_design(workloads::gen_adder(12));
+  LayerOptions options;
+  const LayerReport report = assign_layers(routing, options);
+  // Total used tracks across layers equals total routed edge usage.
+  const int grid = routing.grid_size;
+  const std::size_t h_edges =
+      static_cast<std::size_t>(grid) * static_cast<std::size_t>(grid - 1);
+  double used_tracks = 0.0;
+  for (std::size_t layer = 0; layer < report.layer_utilization.size();
+       ++layer) {
+    used_tracks += report.layer_utilization[layer] *
+                   static_cast<double>(h_edges) *
+                   static_cast<double>(options.tracks_per_layer);
+  }
+  EXPECT_NEAR(used_tracks, static_cast<double>(routing.wirelength_gedges),
+              1.0);
+}
+
+TEST(LayerAssignmentTest, MoreLayersReduceOverflow) {
+  const RoutingResult routing = route_design(workloads::gen_alu(12));
+  LayerOptions tight;
+  tight.horizontal_layers = 1;
+  tight.vertical_layers = 1;
+  tight.tracks_per_layer = 4;
+  LayerOptions roomy = tight;
+  roomy.horizontal_layers = 4;
+  roomy.vertical_layers = 4;
+  const auto a = assign_layers(routing, tight);
+  const auto b = assign_layers(routing, roomy);
+  EXPECT_LE(b.overflowed_layer_edges, a.overflowed_layer_edges);
+}
+
+TEST(LayerAssignmentTest, SingleLayerPairHasMinimalVias) {
+  const RoutingResult routing = route_design(workloads::gen_adder(8));
+  LayerOptions options;
+  options.horizontal_layers = 1;
+  options.vertical_layers = 1;
+  const LayerReport report = assign_layers(routing, options);
+  // With one layer per direction, vias = bends + pin access; every
+  // segment boundary is a bend.
+  EXPECT_EQ(report.via_count,
+            (report.segment_count - routing.routed_count) +
+                2 * routing.routed_count);
+}
+
+TEST(LayerAssignmentTest, InvalidOptionsThrow) {
+  const RoutingResult routing = route_design(workloads::gen_adder(8));
+  LayerOptions bad;
+  bad.horizontal_layers = 0;
+  EXPECT_THROW(assign_layers(routing, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edacloud::route

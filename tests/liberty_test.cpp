@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "nl/liberty.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+TEST(LibertyWriterTest, ContainsLibraryAndCells) {
+  const CellLibrary lib = make_generic_14nm_library();
+  const std::string text = write_liberty(lib);
+  EXPECT_NE(text.find("library (generic14)"), std::string::npos);
+  EXPECT_NE(text.find("cell (NAND2_X1)"), std::string::npos);
+  EXPECT_NE(text.find("function : \"NAND\""), std::string::npos);
+}
+
+TEST(LibertyRoundTripTest, Generic14RoundTrips) {
+  const CellLibrary original = make_generic_14nm_library();
+  const auto parsed = parse_liberty(write_liberty(original));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.library.size(), original.size());
+  EXPECT_EQ(parsed.library.name(), original.name());
+  EXPECT_DOUBLE_EQ(parsed.library.wire_cap_per_um(),
+                   original.wire_cap_per_um());
+  for (CellId id = 0; id < original.size(); ++id) {
+    const Cell& a = original.cell(id);
+    const auto found = parsed.library.find(a.name);
+    ASSERT_TRUE(found.has_value()) << a.name;
+    const Cell& b = parsed.library.cell(*found);
+    EXPECT_EQ(a.function, b.function) << a.name;
+    EXPECT_EQ(a.input_count, b.input_count);
+    EXPECT_DOUBLE_EQ(a.area_um2, b.area_um2);
+    EXPECT_DOUBLE_EQ(a.input_cap_ff, b.input_cap_ff);
+    EXPECT_DOUBLE_EQ(a.intrinsic_delay_ps, b.intrinsic_delay_ps);
+    EXPECT_DOUBLE_EQ(a.drive_res_kohm, b.drive_res_kohm);
+    EXPECT_DOUBLE_EQ(a.leakage_nw, b.leakage_nw);
+  }
+}
+
+TEST(LibertyParserTest, RejectsUnknownFunction) {
+  const std::string text = R"(
+    library (t) {
+      cell (X) { function : "FLUX"; area : 1.0; }
+    })";
+  const auto parsed = parse_liberty(text);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("unknown cell function"), std::string::npos);
+}
+
+TEST(LibertyParserTest, RejectsMalformedHeader) {
+  EXPECT_FALSE(parse_liberty("module (t) {}").ok);
+}
+
+TEST(LibertyParserTest, SkipsUnknownNumericAttributes) {
+  const std::string text = R"(
+    library (t) {
+      cell (INV_Z) {
+        function : "INV";
+        area : 0.2;
+        max_transition : 99.0;
+      }
+    })";
+  const auto parsed = parse_liberty(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.library.size(), 1u);
+}
+
+TEST(LibertyParserTest, HandlesComments) {
+  const std::string text = R"(
+    /* block
+       comment */
+    library (t) { // trailing
+      wire_cap_per_um : 0.5;
+    })";
+  const auto parsed = parse_liberty(text);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_DOUBLE_EQ(parsed.library.wire_cap_per_um(), 0.5);
+}
+
+TEST(LibertyParserTest, DuplicateCellFails) {
+  const std::string text = R"(
+    library (t) {
+      cell (A) { function : "INV"; }
+      cell (A) { function : "BUF"; }
+    })";
+  EXPECT_FALSE(parse_liberty(text).ok);
+}
+
+}  // namespace
+}  // namespace edacloud::nl

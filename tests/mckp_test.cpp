@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "cloud/mckp.hpp"
+#include "cloud/savings.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::cloud {
+namespace {
+
+std::vector<MckpStage> simple_instance() {
+  // Two stages, two options each:
+  //   stage A: slow-cheap (100 s, $1) / fast-pricey (40 s, $3)
+  //   stage B: slow-cheap (200 s, $2) / fast-pricey (80 s, $5)
+  std::vector<MckpStage> stages(2);
+  stages[0].name = "A";
+  stages[0].items = {{100, 1.0, "a1"}, {40, 3.0, "a2"}};
+  stages[1].name = "B";
+  stages[1].items = {{200, 2.0, "b1"}, {80, 5.0, "b2"}};
+  return stages;
+}
+
+TEST(MckpTest, RelaxedDeadlinePicksCheapest) {
+  const auto selection = solve_mckp_dp(simple_instance(), 1000.0);
+  ASSERT_TRUE(selection.feasible);
+  EXPECT_EQ(selection.choice, (std::vector<int>{0, 0}));
+  EXPECT_DOUBLE_EQ(selection.total_cost_usd, 3.0);
+}
+
+TEST(MckpTest, TightDeadlineForcesUpgrade) {
+  // 240 allows (40, 200) or (100, 80) but not (100, 200).
+  const auto selection = solve_mckp_dp(simple_instance(), 240.0);
+  ASSERT_TRUE(selection.feasible);
+  EXPECT_DOUBLE_EQ(selection.total_cost_usd, 5.0);  // (40,$3)+(200,$2)
+  EXPECT_EQ(selection.choice, (std::vector<int>{1, 0}));
+}
+
+TEST(MckpTest, InfeasibleDeadlineReturnsNa) {
+  const auto selection = solve_mckp_dp(simple_instance(), 100.0);
+  EXPECT_FALSE(selection.feasible);
+  EXPECT_TRUE(selection.choice.empty());
+}
+
+TEST(MckpTest, ExactlyFeasibleBoundary) {
+  // Fastest total = 120 s.
+  const auto selection = solve_mckp_dp(simple_instance(), 120.0);
+  ASSERT_TRUE(selection.feasible);
+  EXPECT_DOUBLE_EQ(selection.total_time_seconds, 120.0);
+}
+
+TEST(MckpTest, EmptyStagesAreFeasible) {
+  const auto selection = solve_mckp_dp({}, 10.0);
+  EXPECT_TRUE(selection.feasible);
+  EXPECT_DOUBLE_EQ(selection.total_cost_usd, 0.0);
+}
+
+TEST(MckpTest, StageWithoutItemsThrows) {
+  std::vector<MckpStage> stages(1);
+  EXPECT_THROW(solve_mckp_dp(stages, 10.0), std::invalid_argument);
+}
+
+TEST(MckpTest, NegativeDeadlineInfeasible) {
+  EXPECT_FALSE(solve_mckp_dp(simple_instance(), -5.0).feasible);
+}
+
+TEST(MckpTest, MaxInverseCostObjectivePrefersCheapItems) {
+  const auto selection = solve_mckp_dp(simple_instance(), 1000.0,
+                                       Objective::kMaxInverseCost);
+  ASSERT_TRUE(selection.feasible);
+  // 1/1 + 1/2 beats any combination with pricier machines.
+  EXPECT_EQ(selection.choice, (std::vector<int>{0, 0}));
+}
+
+TEST(MckpTest, FixedChoiceBaselines) {
+  const auto stages = simple_instance();
+  const auto under = fixed_choice(stages, 0);
+  EXPECT_DOUBLE_EQ(under.total_time_seconds, 300.0);
+  EXPECT_DOUBLE_EQ(under.total_cost_usd, 3.0);
+  const auto over = fixed_choice(stages, 1);
+  EXPECT_DOUBLE_EQ(over.total_time_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(over.total_cost_usd, 8.0);
+}
+
+TEST(MckpTest, FastestCompletion) {
+  EXPECT_DOUBLE_EQ(fastest_completion_seconds(simple_instance()), 120.0);
+}
+
+TEST(MckpTest, CostMonotoneInDeadline) {
+  const auto stages = simple_instance();
+  double previous = 0.0;
+  for (double deadline : {1000.0, 400.0, 280.0, 240.0, 180.0, 120.0}) {
+    const auto selection = solve_mckp_dp(stages, deadline);
+    ASSERT_TRUE(selection.feasible) << deadline;
+    EXPECT_GE(selection.total_cost_usd, previous);
+    previous = selection.total_cost_usd;
+  }
+}
+
+// Property sweep: DP equals brute force on random instances for both
+// objectives, across deadline regimes.
+class MckpRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MckpRandomTest, DpMatchesBruteForce) {
+  util::Rng rng(GetParam());
+  std::vector<MckpStage> stages(3 + rng.next_below(2));
+  for (auto& stage : stages) {
+    const int items = 2 + static_cast<int>(rng.next_below(3));
+    for (int j = 0; j < items; ++j) {
+      MckpItem item;
+      item.time_seconds = rng.next_double(10.0, 500.0);
+      item.cost_usd = rng.next_double(0.01, 2.0);
+      stage.items.push_back(item);
+    }
+  }
+  const double fastest = fastest_completion_seconds(stages);
+  const double slowest = fixed_choice(stages, 0).total_time_seconds +
+                         fixed_choice(stages, 100).total_time_seconds;
+  for (double factor : {0.8, 1.0, 1.3, 2.0}) {
+    const double deadline = fastest * factor + 2.0;
+    (void)slowest;
+    for (auto objective :
+         {Objective::kMinTotalCost, Objective::kMaxInverseCost}) {
+      const auto dp = solve_mckp_dp(stages, deadline, objective);
+      const auto bf = solve_mckp_brute_force(stages, deadline, objective);
+      ASSERT_EQ(dp.feasible, bf.feasible)
+          << "deadline " << deadline;
+      if (dp.feasible) {
+        EXPECT_NEAR(dp.objective_value, bf.objective_value, 1e-9);
+        if (objective == Objective::kMinTotalCost) {
+          EXPECT_NEAR(dp.total_cost_usd, bf.total_cost_usd, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MckpRandomTest,
+                         ::testing::Range(100, 120));
+
+TEST(SavingsTest, OptimizerNeverWorseThanBaselines) {
+  const auto stages = simple_instance();
+  for (double deadline : {120.0, 240.0, 300.0, 1000.0}) {
+    const SavingsReport report = analyze_savings(stages, deadline);
+    ASSERT_TRUE(report.feasible);
+    EXPECT_LE(report.optimized_cost_usd,
+              report.over_provision_cost_usd + 1e-9);
+    EXPECT_LE(report.optimized_time_seconds, deadline + 1.0);
+    if (report.under_provision_time_seconds <= deadline) {
+      EXPECT_LE(report.optimized_cost_usd,
+                report.under_provision_cost_usd + 1e-9);
+    }
+  }
+}
+
+TEST(SavingsTest, InfeasibleReportNotFeasible) {
+  const SavingsReport report = analyze_savings(simple_instance(), 50.0);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(SavingsTest, SavingFractionsComputed) {
+  const SavingsReport report = analyze_savings(simple_instance(), 1000.0);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_NEAR(report.saving_vs_over, 1.0 - 3.0 / 8.0, 1e-9);
+  EXPECT_NEAR(report.saving_vs_under, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edacloud::cloud

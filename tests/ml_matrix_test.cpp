@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "ml/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::ml {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.next_double(-1.0, 1.0);
+  return m;
+}
+
+TEST(MatrixTest, MatmulIdentity) {
+  Matrix identity(3, 3);
+  for (int i = 0; i < 3; ++i) identity.at(i, i) = 1.0;
+  const Matrix a = random_matrix(3, 3, 1);
+  const Matrix result = matmul(a, identity);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    EXPECT_NEAR(result.data()[i], a.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, MatmulKnownValues) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatrixTest, MatmulShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(MatrixTest, AtBEqualsExplicitTranspose) {
+  const Matrix a = random_matrix(5, 3, 2);
+  const Matrix b = random_matrix(5, 4, 3);
+  // Explicit transpose of a.
+  Matrix at(3, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Matrix expected = matmul(at, b);
+  const Matrix result = matmul_at_b(a, b);
+  ASSERT_EQ(result.rows(), expected.rows());
+  for (std::size_t i = 0; i < result.data().size(); ++i) {
+    EXPECT_NEAR(result.data()[i], expected.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, ABtEqualsExplicitTranspose) {
+  const Matrix a = random_matrix(4, 3, 4);
+  const Matrix b = random_matrix(5, 3, 5);
+  Matrix bt(3, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Matrix expected = matmul(a, bt);
+  const Matrix result = matmul_a_bt(a, b);
+  for (std::size_t i = 0; i < result.data().size(); ++i) {
+    EXPECT_NEAR(result.data()[i], expected.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, AddBiasRows) {
+  Matrix m(2, 3);
+  add_bias_rows(m, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+}
+
+TEST(MatrixTest, ReluAndBackward) {
+  Matrix m(1, 4);
+  m.at(0, 0) = -1.0;
+  m.at(0, 1) = 2.0;
+  m.at(0, 2) = 0.0;
+  m.at(0, 3) = -0.5;
+  const Matrix pre = m;
+  relu_inplace(m);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+
+  Matrix grad(1, 4);
+  grad.fill(1.0);
+  relu_backward_inplace(grad, pre);
+  EXPECT_DOUBLE_EQ(grad.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(grad.at(0, 2), 0.0);
+}
+
+TEST(MatrixTest, SumPool) {
+  Matrix m(3, 2);
+  m.at(0, 0) = 1;
+  m.at(1, 0) = 2;
+  m.at(2, 0) = 3;
+  m.at(0, 1) = 4;
+  const auto pooled = sum_pool(m);
+  EXPECT_DOUBLE_EQ(pooled[0], 6.0);
+  EXPECT_DOUBLE_EQ(pooled[1], 4.0);
+}
+
+TEST(AggregateTest, MeanOverInNeighbors) {
+  // Graph: 0 -> 2, 1 -> 2 (in-neighbors of 2 are {0, 1}).
+  const nl::Csr in_csr = nl::build_csr(3, {{2, 0}, {2, 1}});
+  Matrix features(3, 1);
+  features.at(0, 0) = 4.0;
+  features.at(1, 0) = 8.0;
+  const Matrix out = aggregate_mean(in_csr, features);
+  EXPECT_DOUBLE_EQ(out.at(2, 0), 6.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);  // no in-neighbors
+}
+
+TEST(AggregateTest, BackwardDistributesGradient) {
+  const nl::Csr in_csr = nl::build_csr(3, {{2, 0}, {2, 1}});
+  Matrix grad_out(3, 1);
+  grad_out.at(2, 0) = 1.0;
+  const Matrix grad_in = aggregate_mean_backward(in_csr, grad_out);
+  EXPECT_DOUBLE_EQ(grad_in.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(grad_in.at(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(grad_in.at(2, 0), 0.0);
+}
+
+TEST(AggregateTest, BackwardIsAdjointOfForward) {
+  // <Agg(x), y> == <x, Agg^T(y)> for random x, y.
+  util::Rng rng(9);
+  const std::size_t n = 20;
+  std::vector<std::pair<nl::VertexId, nl::VertexId>> edges;
+  for (int e = 0; e < 50; ++e) {
+    edges.emplace_back(static_cast<nl::VertexId>(rng.next_below(n)),
+                       static_cast<nl::VertexId>(rng.next_below(n)));
+  }
+  const nl::Csr csr = nl::build_csr(n, edges);
+  const Matrix x = random_matrix(n, 3, 10);
+  const Matrix y = random_matrix(n, 3, 11);
+  const Matrix ax = aggregate_mean(csr, x);
+  const Matrix aty = aggregate_mean_backward(csr, y);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    lhs += ax.data()[i] * y.data()[i];
+    rhs += x.data()[i] * aty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+}  // namespace
+}  // namespace edacloud::ml

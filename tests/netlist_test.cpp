@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "nl/netlist.hpp"
+#include "nl/netlist_sim.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_generic_14nm_library();
+};
+
+TEST_F(NetlistTest, BuildSmallNetlist) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId b = n.add_input();
+  const NodeId g = n.add_cell(*lib_.find("NAND2_X1"), {a, b});
+  n.add_output(g);
+  EXPECT_EQ(n.node_count(), 4u);
+  EXPECT_EQ(n.inputs().size(), 2u);
+  EXPECT_EQ(n.outputs().size(), 1u);
+  EXPECT_TRUE(n.validate());
+}
+
+TEST_F(NetlistTest, ArityMismatchThrows) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  EXPECT_THROW(n.add_cell(*lib_.find("NAND2_X1"), {a}),
+               std::invalid_argument);
+}
+
+TEST_F(NetlistTest, DanglingFaninThrows) {
+  Netlist n("t", &lib_);
+  EXPECT_THROW(n.add_cell(*lib_.find("INV_X1"), {42}), std::out_of_range);
+}
+
+TEST_F(NetlistTest, OutputOfMissingNodeThrows) {
+  Netlist n("t", &lib_);
+  EXPECT_THROW(n.add_output(3), std::out_of_range);
+}
+
+TEST_F(NetlistTest, StatsCountInstancesAndArea) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId inv = n.add_cell(*lib_.find("INV_X1"), {a});
+  const NodeId buf = n.add_cell(*lib_.find("BUF_X1"), {inv});
+  n.add_output(buf);
+  const auto stats = n.stats();
+  EXPECT_EQ(stats.instance_count, 2u);
+  EXPECT_EQ(stats.input_count, 1u);
+  EXPECT_EQ(stats.output_count, 1u);
+  EXPECT_EQ(stats.logic_depth, 3u);  // a -> inv -> buf -> PO
+  EXPECT_NEAR(stats.total_area_um2,
+              lib_.cell(*lib_.find("INV_X1")).area_um2 +
+                  lib_.cell(*lib_.find("BUF_X1")).area_um2,
+              1e-12);
+}
+
+TEST_F(NetlistTest, FanoutCounts) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId i1 = n.add_cell(*lib_.find("INV_X1"), {a});
+  const NodeId i2 = n.add_cell(*lib_.find("INV_X1"), {a});
+  n.add_output(i1);
+  n.add_output(i2);
+  const auto fanouts = n.fanout_counts();
+  EXPECT_EQ(fanouts[a], 2u);
+  EXPECT_EQ(fanouts[i1], 1u);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRespectsEdges) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId g1 = n.add_cell(*lib_.find("INV_X1"), {a});
+  const NodeId g2 = n.add_cell(*lib_.find("INV_X1"), {g1});
+  n.add_output(g2);
+  const auto order = n.topological_order();
+  ASSERT_EQ(order.size(), n.node_count());
+  std::vector<std::size_t> pos(n.node_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[g1]);
+  EXPECT_LT(pos[g1], pos[g2]);
+}
+
+TEST_F(NetlistTest, SimulateInverterChain) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId i1 = n.add_cell(*lib_.find("INV_X1"), {a});
+  const NodeId i2 = n.add_cell(*lib_.find("INV_X1"), {i1});
+  n.add_output(i1);
+  n.add_output(i2);
+  const auto out = simulate(n, {0xF0F0F0F0F0F0F0F0ULL});
+  EXPECT_EQ(out[0], ~0xF0F0F0F0F0F0F0F0ULL);
+  EXPECT_EQ(out[1], 0xF0F0F0F0F0F0F0F0ULL);
+}
+
+TEST_F(NetlistTest, SimulateAllCellFunctions) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId b = n.add_input();
+  const NodeId c = n.add_input();
+  const std::uint64_t va = 0xAAAAAAAAAAAAAAAAULL;
+  const std::uint64_t vb = 0xCCCCCCCCCCCCCCCCULL;
+  const std::uint64_t vc = 0xF0F0F0F0F0F0F0F0ULL;
+
+  struct Case {
+    const char* cell;
+    std::vector<NodeId> pins;
+    std::uint64_t expected;
+  };
+  const std::vector<Case> cases = {
+      {"AND2_X1", {a, b}, va & vb},
+      {"OR2_X1", {a, b}, va | vb},
+      {"NAND2_X1", {a, b}, ~(va & vb)},
+      {"NOR2_X1", {a, b}, ~(va | vb)},
+      {"XOR2_X1", {a, b}, va ^ vb},
+      {"XNOR2_X1", {a, b}, ~(va ^ vb)},
+      {"AOI21_X1", {a, b, c}, ~((va & vb) | vc)},
+      {"OAI21_X1", {a, b, c}, ~((va | vb) & vc)},
+      {"MUX2_X1", {a, b, c}, (va & vb) | (~va & vc)},
+      {"MAJ3_X1", {a, b, c}, (va & vb) | (va & vc) | (vb & vc)},
+  };
+  std::vector<std::uint64_t> expected;
+  for (const Case& cs : cases) {
+    n.add_output(n.add_cell(*lib_.find(cs.cell), cs.pins));
+    expected.push_back(cs.expected);
+  }
+  const auto out = simulate(n, {va, vb, vc});
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], expected[i]) << cases[i].cell;
+  }
+}
+
+TEST_F(NetlistTest, SimulateRejectsWrongInputCount) {
+  Netlist n("t", &lib_);
+  n.add_input();
+  EXPECT_THROW(simulate(n, {}), std::invalid_argument);
+}
+
+TEST_F(NetlistTest, ValidateEmptyNetlist) {
+  Netlist n("t", &lib_);
+  EXPECT_TRUE(n.validate());
+}
+
+TEST_F(NetlistTest, StarGraphEdgesMatchFanins) {
+  Netlist n("t", &lib_);
+  const NodeId a = n.add_input();
+  const NodeId b = n.add_input();
+  const NodeId g = n.add_cell(*lib_.find("AND2_X1"), {a, b});
+  n.add_output(g);
+  const Csr csr = n.build_fanout_csr();
+  EXPECT_EQ(csr.edge_count(), 3u);  // a->g, b->g, g->PO
+  EXPECT_EQ(csr.degree(a), 1u);
+  EXPECT_EQ(csr.degree(g), 1u);
+}
+
+}  // namespace
+}  // namespace edacloud::nl

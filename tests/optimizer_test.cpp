@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+
+namespace edacloud::core {
+namespace {
+
+RuntimeLadders sample_ladders() {
+  RuntimeLadders ladders{};
+  // Magnitudes echo Table I: synthesis / placement / routing / STA.
+  ladders[static_cast<int>(JobKind::kSynthesis)] = {6100, 4342, 3449, 3352};
+  ladders[static_cast<int>(JobKind::kPlacement)] = {1206, 905, 644, 519};
+  ladders[static_cast<int>(JobKind::kRouting)] = {10461, 5514, 2894, 1692};
+  ladders[static_cast<int>(JobKind::kSta)] = {183, 119, 90, 82};
+  return ladders;
+}
+
+TEST(OptimizerTest, BuildsFourStagesWithFourItems) {
+  DeploymentOptimizer optimizer;
+  const auto stages = optimizer.build_stages(sample_ladders());
+  ASSERT_EQ(stages.size(), 4u);
+  for (const auto& stage : stages) {
+    EXPECT_EQ(stage.items.size(), 4u);
+    for (const auto& item : stage.items) {
+      EXPECT_GT(item.cost_usd, 0.0);
+    }
+  }
+  EXPECT_EQ(stages[0].name, "synthesis");
+  EXPECT_EQ(stages[3].name, "sta");
+}
+
+TEST(OptimizerTest, FamiliesFollowRecommendations) {
+  DeploymentOptimizer optimizer;
+  const auto stages = optimizer.build_stages(sample_ladders());
+  EXPECT_NE(stages[0].items[0].label.find("general-purpose"),
+            std::string::npos);
+  EXPECT_NE(stages[1].items[0].label.find("memory-optimized"),
+            std::string::npos);
+  EXPECT_NE(stages[2].items[0].label.find("memory-optimized"),
+            std::string::npos);
+}
+
+TEST(OptimizerTest, LooseDeadlineStaysFeasibleAndCheap) {
+  DeploymentOptimizer optimizer;
+  const auto ladders = sample_ladders();
+  const auto loose = optimizer.optimize(ladders, 1e6);
+  ASSERT_TRUE(loose.feasible);
+  const auto tight = optimizer.optimize(ladders, 6000.0);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_LE(loose.total_cost_usd, tight.total_cost_usd);
+  EXPECT_LE(tight.total_runtime_seconds, 6000.0);
+}
+
+TEST(OptimizerTest, TighteningPromotesSomeStages) {
+  DeploymentOptimizer optimizer;
+  const auto ladders = sample_ladders();
+  const auto loose = optimizer.optimize(ladders, 30000.0);
+  const auto tight = optimizer.optimize(ladders, 8000.0);
+  ASSERT_TRUE(loose.feasible);
+  ASSERT_TRUE(tight.feasible);
+  int promotions = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (tight.entries[i].vcpus > loose.entries[i].vcpus) ++promotions;
+  }
+  EXPECT_GT(promotions, 0);
+}
+
+TEST(OptimizerTest, BelowFastestIsNa) {
+  DeploymentOptimizer optimizer;
+  const auto ladders = sample_ladders();
+  // Fastest total = 3352 + 519 + 1692 + 82 = 5645 (Table I's boundary!).
+  const auto boundary = optimizer.optimize(ladders, 5645.0);
+  EXPECT_TRUE(boundary.feasible);
+  const auto below = optimizer.optimize(ladders, 5000.0);
+  EXPECT_FALSE(below.feasible);
+}
+
+TEST(OptimizerTest, PlanEntriesSumToTotals) {
+  DeploymentOptimizer optimizer;
+  const auto plan = optimizer.optimize(sample_ladders(), 10000.0);
+  ASSERT_TRUE(plan.feasible);
+  double time = 0.0, cost = 0.0;
+  for (const auto& entry : plan.entries) {
+    time += entry.runtime_seconds;
+    cost += entry.cost_usd;
+  }
+  EXPECT_NEAR(time, plan.total_runtime_seconds, 1e-9);
+  EXPECT_NEAR(cost, plan.total_cost_usd, 1e-9);
+}
+
+TEST(OptimizerTest, SavingsAgainstBaselines) {
+  DeploymentOptimizer optimizer;
+  const auto report = optimizer.savings(sample_ladders(), 10000.0);
+  ASSERT_TRUE(report.feasible);
+  EXPECT_LE(report.optimized_cost_usd,
+            report.over_provision_cost_usd + 1e-9);
+  EXPECT_GT(report.saving_vs_over, 0.0);
+}
+
+TEST(OptimizerTest, PaperObjectiveVariantRunsToo) {
+  DeploymentOptimizer paper_objective(cloud::PricingCatalog::aws_like(),
+                                      cloud::Objective::kMaxInverseCost);
+  const auto plan = paper_objective.optimize(sample_ladders(), 10000.0);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_LE(plan.total_runtime_seconds, 10000.0);
+}
+
+}  // namespace
+}  // namespace edacloud::core

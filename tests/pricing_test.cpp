@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "cloud/pricing.hpp"
+
+namespace edacloud::cloud {
+namespace {
+
+TEST(PricingTest, HourlyLinearInVcpus) {
+  const PricingCatalog catalog = PricingCatalog::aws_like();
+  const double one =
+      catalog.hourly_usd(perf::InstanceFamily::kGeneralPurpose, 1);
+  const double eight =
+      catalog.hourly_usd(perf::InstanceFamily::kGeneralPurpose, 8);
+  EXPECT_NEAR(eight, 8 * one, 1e-12);
+}
+
+TEST(PricingTest, MemoryOptimizedCostsMore) {
+  const PricingCatalog catalog = PricingCatalog::aws_like();
+  EXPECT_GT(catalog.rate(perf::InstanceFamily::kMemoryOptimized),
+            catalog.rate(perf::InstanceFamily::kGeneralPurpose));
+}
+
+TEST(PricingTest, PerSecondBillingRoundsUp) {
+  const PricingCatalog catalog = PricingCatalog::aws_like();
+  const double hourly =
+      catalog.hourly_usd(perf::InstanceFamily::kGeneralPurpose, 1);
+  EXPECT_NEAR(
+      catalog.job_cost_usd(perf::InstanceFamily::kGeneralPurpose, 1, 3600.0),
+      hourly, 1e-12);
+  // 0.4 s bills as 1 s.
+  EXPECT_NEAR(
+      catalog.job_cost_usd(perf::InstanceFamily::kGeneralPurpose, 1, 0.4),
+      hourly / 3600.0, 1e-12);
+}
+
+TEST(PricingTest, ZeroRuntimeIsFree) {
+  const PricingCatalog catalog = PricingCatalog::aws_like();
+  EXPECT_DOUBLE_EQ(
+      catalog.job_cost_usd(perf::InstanceFamily::kGeneralPurpose, 4, 0.0),
+      0.0);
+}
+
+TEST(PricingTest, SetRateOverrides) {
+  PricingCatalog catalog;
+  catalog.set_rate(perf::InstanceFamily::kComputeOptimized, 0.1);
+  EXPECT_DOUBLE_EQ(catalog.rate(perf::InstanceFamily::kComputeOptimized),
+                   0.1);
+}
+
+TEST(PricingTest, InvalidInputsThrow) {
+  PricingCatalog catalog;
+  EXPECT_THROW(catalog.set_rate(perf::InstanceFamily::kGeneralPurpose, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)catalog.hourly_usd(perf::InstanceFamily::kGeneralPurpose, 0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)catalog.job_cost_usd(perf::InstanceFamily::kGeneralPurpose, 1,
+                                 -1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edacloud::cloud

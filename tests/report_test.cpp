@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "nl/dot.hpp"
+#include "sta/sta.hpp"
+#include "synth/engine.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+// ---- DOT export ---------------------------------------------------------------
+
+TEST(DotTest, NetlistDotHasNodesAndEdges) {
+  nl::Netlist n("demo", &library());
+  const auto a = n.add_input();
+  const auto g = n.add_cell(*library().find("INV_X1"), {a});
+  n.add_output(g);
+  const std::string dot = nl::write_dot(n);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("INV_X1"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(DotTest, AigDotMarksComplementedEdges) {
+  nl::Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  aig.add_output(aig.and_of(a, nl::literal_not(b)));
+  const std::string dot = nl::write_dot(aig);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("shape=triangle"), std::string::npos);
+}
+
+// ---- STA worst paths ------------------------------------------------------------
+
+TEST(WorstPathsTest, RankedByArrival) {
+  synth::SynthesisEngine engine(library());
+  const nl::Netlist netlist =
+      engine.synthesize(workloads::gen_adder(8), synth::default_recipe())
+          .netlist;
+  sta::StaEngine sta_engine;
+  const auto report = sta_engine.run(netlist, nullptr, {});
+  const auto paths = sta::worst_paths(report, netlist, 5);
+  ASSERT_EQ(paths.size(), 5u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].arrival_ps, paths[i].arrival_ps);
+  }
+  // Worst path matches the report's critical path arrival.
+  EXPECT_DOUBLE_EQ(paths[0].arrival_ps, report.critical_path_ps);
+  // Every path starts at a PI and ends at a PO.
+  for (const auto& path : paths) {
+    ASSERT_GE(path.nodes.size(), 2u);
+    EXPECT_EQ(netlist.node(path.nodes.front()).kind,
+              nl::NodeKind::kPrimaryInput);
+    EXPECT_EQ(netlist.node(path.nodes.back()).kind,
+              nl::NodeKind::kPrimaryOutput);
+  }
+}
+
+TEST(WorstPathsTest, KLargerThanEndpointsClamps) {
+  synth::SynthesisEngine engine(library());
+  const nl::Netlist netlist =
+      engine.synthesize(workloads::gen_parity(8), synth::default_recipe())
+          .netlist;
+  sta::StaEngine sta_engine;
+  const auto report = sta_engine.run(netlist, nullptr, {});
+  const auto paths = sta::worst_paths(report, netlist, 100);
+  EXPECT_EQ(paths.size(), netlist.outputs().size());
+}
+
+TEST(StaPowerTest, PowerReportPopulated) {
+  synth::SynthesisEngine engine(library());
+  const nl::Netlist netlist =
+      engine.synthesize(workloads::gen_alu(8), synth::default_recipe())
+          .netlist;
+  sta::StaEngine sta_engine;
+  const auto report = sta_engine.run(netlist, nullptr, {});
+  EXPECT_GT(report.leakage_power_nw, 0.0);
+  EXPECT_GT(report.dynamic_power_uw, 0.0);
+}
+
+TEST(StaSlewTest, SlewGrowsWithFanout) {
+  // A cell driving many sinks sees more load -> larger output slew.
+  nl::Netlist n("slew", &library());
+  const auto a = n.add_input();
+  const auto light = n.add_cell(*library().find("INV_X1"), {a});
+  const auto heavy = n.add_cell(*library().find("INV_X1"), {a});
+  n.add_output(light);
+  for (int i = 0; i < 6; ++i) {
+    n.add_output(n.add_cell(*library().find("BUF_X1"), {heavy}));
+  }
+  sta::StaEngine sta_engine;
+  const auto report = sta_engine.run(n, nullptr, {});
+  EXPECT_GT(report.slew_ps[heavy], report.slew_ps[light]);
+}
+
+// ---- markdown report -------------------------------------------------------------
+
+core::ReportInputs make_inputs(bool feasible_deadline) {
+  core::Characterizer characterizer(library());
+  core::ReportInputs inputs;
+  inputs.characterization =
+      characterizer.characterize(workloads::gen_alu(8));
+  core::RuntimeLadders ladders{};
+  for (core::JobKind job : core::kAllJobs) {
+    const auto* row = inputs.characterization.find(
+        job, core::recommended_family(job));
+    if (row != nullptr) ladders[static_cast<int>(job)] = row->runtime_seconds;
+  }
+  core::DeploymentOptimizer optimizer;
+  const auto stages = optimizer.build_stages(ladders);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  inputs.deadline_seconds = feasible_deadline ? fastest * 1.5 : fastest * 0.5;
+  inputs.plan = optimizer.optimize(ladders, inputs.deadline_seconds);
+  inputs.savings = optimizer.savings(ladders, inputs.deadline_seconds);
+  return inputs;
+}
+
+TEST(MarkdownReportTest, FeasiblePlanRendersAllSections) {
+  const auto inputs = make_inputs(true);
+  const std::string report = core::markdown_report(inputs);
+  EXPECT_NE(report.find("# Cloud deployment report"), std::string::npos);
+  EXPECT_NE(report.find("## Characterization"), std::string::npos);
+  EXPECT_NE(report.find("## Deployment plan"), std::string::npos);
+  EXPECT_NE(report.find("| synthesis |"), std::string::npos);
+  EXPECT_NE(report.find("**total**"), std::string::npos);
+  EXPECT_NE(report.find("over-provisioning"), std::string::npos);
+}
+
+TEST(MarkdownReportTest, InfeasibleDeadlineSaysSo) {
+  const auto inputs = make_inputs(false);
+  const std::string report = core::markdown_report(inputs);
+  EXPECT_NE(report.find("not achievable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edacloud

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "place/placer.hpp"
+#include "route/router.hpp"
+#include "synth/engine.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::route {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+struct PlacedDesign {
+  nl::Netlist netlist;
+  place::Placement placement;
+};
+
+PlacedDesign prepare(const nl::Aig& aig) {
+  synth::SynthesisEngine engine(library());
+  PlacedDesign design;
+  design.netlist = engine.synthesize(aig, synth::default_recipe()).netlist;
+  place::QuadraticPlacer placer;
+  design.placement = placer.place(design.netlist);
+  return design;
+}
+
+TEST(RouterTest, RoutesAllConnections) {
+  const PlacedDesign design = prepare(workloads::gen_alu(8));
+  GridRouter router;
+  const RoutingResult result =
+      router.run(design.netlist, design.placement, {});
+  EXPECT_GT(result.connection_count, 0u);
+  EXPECT_EQ(result.routed_count, result.connection_count);
+  EXPECT_GT(result.wirelength_gedges, 0u);
+}
+
+TEST(RouterTest, GridSizeWithinBounds) {
+  const PlacedDesign design = prepare(workloads::gen_adder(8));
+  RouterOptions options;
+  options.min_grid = 8;
+  options.max_grid = 32;
+  GridRouter router(options);
+  const RoutingResult result =
+      router.run(design.netlist, design.placement, {});
+  EXPECT_GE(result.grid_size, 8);
+  EXPECT_LE(result.grid_size, 32);
+}
+
+TEST(RouterTest, RipUpReducesOverflowUnderPressure) {
+  const PlacedDesign design = prepare(workloads::gen_alu(12));
+  RouterOptions tight;
+  tight.edge_capacity = 6;  // force congestion
+  tight.max_rrr_iterations = 0;
+  GridRouter no_rrr(tight);
+  const auto before = no_rrr.run(design.netlist, design.placement, {});
+
+  tight.max_rrr_iterations = 4;
+  GridRouter with_rrr(tight);
+  const auto after = with_rrr.run(design.netlist, design.placement, {});
+  EXPECT_LE(after.overflowed_edges, before.overflowed_edges);
+}
+
+TEST(RouterTest, WavesDoNotExceedConnections) {
+  const PlacedDesign design = prepare(workloads::gen_alu(8));
+  GridRouter router;
+  const RoutingResult result =
+      router.run(design.netlist, design.placement, {});
+  EXPECT_GT(result.wave_count, 0u);
+  EXPECT_LE(result.wave_count, result.routed_count * 5);  // incl. reroutes
+}
+
+TEST(RouterTest, DeterministicAcrossRuns) {
+  const PlacedDesign design = prepare(workloads::gen_adder(12));
+  GridRouter router;
+  const auto a = router.run(design.netlist, design.placement, {});
+  const auto b = router.run(design.netlist, design.placement, {});
+  EXPECT_EQ(a.wirelength_gedges, b.wirelength_gedges);
+  EXPECT_EQ(a.total_expansions, b.total_expansions);
+}
+
+TEST(RouterTest, WirelengthAtLeastManhattanLowerBound) {
+  // Every routed connection uses at least the Manhattan distance in grid
+  // edges; the total wirelength cannot beat the sum of distances.
+  const PlacedDesign design = prepare(workloads::gen_adder(8));
+  GridRouter router;
+  const RoutingResult result =
+      router.run(design.netlist, design.placement, {});
+  // Recompute the lower bound from gcell coordinates.
+  const int grid = result.grid_size;
+  const auto fanout = design.netlist.build_fanout_csr();
+  auto gcell = [&](nl::NodeId node) {
+    const int gx = std::clamp(
+        static_cast<int>(design.placement.x[node] /
+                         design.placement.die_width_um * grid),
+        0, grid - 1);
+    const int gy = std::clamp(
+        static_cast<int>(design.placement.y[node] /
+                         design.placement.die_height_um * grid),
+        0, grid - 1);
+    return std::pair<int, int>(gx, gy);
+  };
+  std::uint64_t lower_bound = 0;
+  for (nl::NodeId driver = 0; driver < design.netlist.node_count();
+       ++driver) {
+    const auto [begin, end] = fanout.range(driver);
+    const auto [sx, sy] = gcell(driver);
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const auto [tx, ty] = gcell(fanout.targets[e]);
+      lower_bound += static_cast<std::uint64_t>(std::abs(sx - tx) +
+                                                std::abs(sy - ty));
+    }
+  }
+  EXPECT_GE(result.wirelength_gedges, lower_bound);
+}
+
+TEST(RouterTest, InstrumentedRunHasBranchHeavySignature) {
+  const PlacedDesign design = prepare(workloads::gen_alu(8));
+  const auto ladder = perf::vm_ladder(perf::InstanceFamily::kMemoryOptimized);
+  GridRouter router;
+  const RoutingResult result = router.run(design.netlist, design.placement,
+                                          {ladder.begin(), ladder.end()});
+  ASSERT_EQ(result.profile.counts.size(), 4u);
+  const auto& counts = result.profile.counts[0];
+  EXPECT_GT(counts.branches, 0u);
+  // Routing's graph search has data-dependent branches (Fig. 2a).
+  EXPECT_GT(counts.branch_miss_rate(), 0.05);
+  EXPECT_EQ(counts.avx_ops, 0u);
+}
+
+TEST(RouterTest, LargerDesignScalesBetter) {
+  // Same structural family so only the size differs (Fig. 3's premise).
+  const PlacedDesign small = prepare(workloads::gen_multiplier(6));
+  const PlacedDesign large = prepare(workloads::gen_multiplier(16));
+  GridRouter router;
+  const auto rs = router.run(small.netlist, small.placement, {});
+  const auto rl = router.run(large.netlist, large.placement, {});
+  const double speedup_small = rs.profile.tasks.speedup(8);
+  const double speedup_large = rl.profile.tasks.speedup(8);
+  EXPECT_GE(speedup_large, speedup_small * 0.7);  // weakly ordered (Fig. 3)
+}
+
+TEST(PatternRouteTest, ServesShortConnections) {
+  const PlacedDesign design = prepare(workloads::gen_adder(16));
+  RouterOptions options;
+  options.pattern_route = true;
+  GridRouter router(options);
+  const RoutingResult result =
+      router.run(design.netlist, design.placement, {});
+  EXPECT_GT(result.pattern_routed, result.routed_count / 2);
+  EXPECT_EQ(result.routed_count, result.connection_count);
+}
+
+TEST(PatternRouteTest, WirelengthCloseToMazeRouter) {
+  const PlacedDesign design = prepare(workloads::gen_alu(12));
+  RouterOptions options;
+  options.pattern_route = true;
+  GridRouter with_patterns(options);
+  options.pattern_route = false;
+  GridRouter maze_only(options);
+  const auto fast = with_patterns.run(design.netlist, design.placement, {});
+  const auto slow = maze_only.run(design.netlist, design.placement, {});
+  // Patterns are distance-optimal per connection; the total wirelength
+  // must stay in the same ballpark as the congestion-aware maze.
+  EXPECT_LT(fast.wirelength_gedges,
+            slow.wirelength_gedges + slow.wirelength_gedges / 2);
+  EXPECT_LT(fast.total_expansions, slow.total_expansions);
+}
+
+TEST(PatternRouteTest, RespectsCongestionLimit) {
+  const PlacedDesign design = prepare(workloads::gen_alu(12));
+  RouterOptions options;
+  options.pattern_route = true;
+  options.edge_capacity = 6;  // heavy congestion: patterns must back off
+  GridRouter router(options);
+  const RoutingResult result =
+      router.run(design.netlist, design.placement, {});
+  EXPECT_EQ(result.routed_count, result.connection_count);
+  EXPECT_LT(result.pattern_routed, result.connection_count);
+}
+
+TEST(RouterTest, EmptyNetlistRoutesTrivially) {
+  nl::Netlist netlist("empty", &library());
+  place::Placement placement;
+  placement.die_width_um = 10;
+  placement.die_height_um = 10;
+  GridRouter router;
+  const RoutingResult result = router.run(netlist, placement, {});
+  EXPECT_EQ(result.connection_count, 0u);
+  EXPECT_EQ(result.wirelength_gedges, 0u);
+}
+
+}  // namespace
+}  // namespace edacloud::route

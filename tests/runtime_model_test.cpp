@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "perf/runtime_model.hpp"
+
+namespace edacloud::perf {
+namespace {
+
+OpCounts basic_counts() {
+  OpCounts counts;
+  counts.int_ops = 1000000;
+  counts.fp_ops = 200000;
+  counts.avx_ops = 300000;
+  counts.l1_accesses = 500000;
+  counts.l1_misses = 50000;
+  counts.llc_accesses = 50000;
+  counts.llc_misses = 10000;
+  counts.branches = 100000;
+  counts.branch_misses = 5000;
+  return counts;
+}
+
+TEST(RuntimeModelTest, CyclesComposition) {
+  const VmConfig vm = make_vm(InstanceFamily::kGeneralPurpose, 1);
+  RuntimeModelParams params;
+  const OpCounts counts = basic_counts();
+  const double cycles = estimate_cycles(counts, vm, params);
+  const double expected = 1000000 * params.cpi_int +
+                          200000 * params.cpi_fp + 300000 * params.cpi_avx +
+                          50000 * params.l1_miss_cycles +
+                          10000 * params.llc_miss_cycles +
+                          5000 * params.branch_miss_cycles;
+  EXPECT_NEAR(cycles, expected, 1e-6);
+}
+
+TEST(RuntimeModelTest, NoAvxHardwarePaysFallback) {
+  VmConfig vm = make_vm(InstanceFamily::kGeneralPurpose, 1);
+  RuntimeModelParams params;
+  const OpCounts counts = basic_counts();
+  const double with_avx = estimate_cycles(counts, vm, params);
+  vm.has_avx = false;
+  const double without_avx = estimate_cycles(counts, vm, params);
+  EXPECT_GT(without_avx, with_avx);
+}
+
+JobProfile make_profile() {
+  JobProfile profile;
+  profile.job = "test";
+  for (int vcpus : kVcpuOptions) {
+    profile.configs.push_back(
+        make_vm(InstanceFamily::kGeneralPurpose, vcpus));
+    profile.counts.push_back(basic_counts());
+  }
+  // Amdahl-ish task graph: serial 20 + 80 parallel units.
+  const TaskId serial = profile.tasks.add_task(20.0);
+  for (int i = 0; i < 80; ++i) profile.tasks.add_task(1.0, {serial});
+  return profile;
+}
+
+TEST(RuntimeModelTest, RuntimeDecreasesWithVcpus) {
+  const JobProfile profile = make_profile();
+  RuntimeModelParams params;
+  double previous = 1e300;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double runtime = estimate_runtime_seconds(profile, i, params);
+    EXPECT_LT(runtime, previous);
+    previous = runtime;
+  }
+}
+
+TEST(RuntimeModelTest, TimeScaleIsLinear) {
+  const JobProfile profile = make_profile();
+  RuntimeModelParams params;
+  const double base = estimate_runtime_seconds(profile, 0, params);
+  params.time_scale = 1000.0;
+  EXPECT_NEAR(estimate_runtime_seconds(profile, 0, params), base * 1000.0,
+              base * 1e-6);
+}
+
+TEST(RuntimeModelTest, MeasureProducesSpeedupsRelativeToFirst) {
+  const JobProfile profile = make_profile();
+  const JobMeasurement m = measure(profile, RuntimeModelParams{});
+  ASSERT_EQ(m.runtime_seconds.size(), 4u);
+  EXPECT_DOUBLE_EQ(m.speedup[0], 1.0);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(m.speedup[i], m.speedup[i - 1]);
+    EXPECT_NEAR(m.speedup[i], m.runtime_seconds[0] / m.runtime_seconds[i],
+                1e-9);
+  }
+}
+
+TEST(RuntimeModelTest, SpeedupBoundedByWorkers) {
+  const JobProfile profile = make_profile();
+  const JobMeasurement m = measure(profile, RuntimeModelParams{});
+  // Identical counters across configs: speedup comes from the task graph
+  // alone and cannot exceed the worker count.
+  EXPECT_LE(m.speedup[3], 8.0 + 1e-9);
+}
+
+TEST(RuntimeModelTest, IndexOutOfRangeThrows) {
+  const JobProfile profile = make_profile();
+  EXPECT_THROW(estimate_runtime_seconds(profile, 9, RuntimeModelParams{}),
+               std::out_of_range);
+}
+
+TEST(RuntimeModelTest, EmptyTaskGraphMeansSerial) {
+  JobProfile profile;
+  profile.job = "serial";
+  profile.configs.push_back(make_vm(InstanceFamily::kGeneralPurpose, 8));
+  profile.counts.push_back(basic_counts());
+  const double runtime =
+      estimate_runtime_seconds(profile, 0, RuntimeModelParams{});
+  EXPECT_GT(runtime, 0.0);
+}
+
+}  // namespace
+}  // namespace edacloud::perf

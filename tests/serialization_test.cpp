@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "ml/gcn.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::ml {
+namespace {
+
+GraphSample make_sample(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::pair<nl::VertexId, nl::VertexId>> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.emplace_back(static_cast<nl::VertexId>(rng.next_below(i)),
+                       static_cast<nl::VertexId>(i));
+  }
+  GraphSample sample;
+  sample.in_neighbors = nl::transpose(nl::build_csr(n, edges));
+  sample.features = Matrix(n, 20);
+  for (std::size_t v = 0; v < n; ++v) {
+    sample.features.at(v, 0) = rng.next_double(0.0, 1.0);
+    sample.features.at(v, 19) = 1.0;
+  }
+  return sample;
+}
+
+GcnConfig tiny() {
+  GcnConfig config;
+  config.hidden1 = 8;
+  config.hidden2 = 8;
+  config.fc = 8;
+  return config;
+}
+
+TEST(GcnSerializationTest, SaveLoadRoundTripsPredictions) {
+  GcnModel model(tiny());
+  const GraphSample sample = make_sample(20, 3);
+  // Move off the deterministic init so the dump carries trained state.
+  for (int i = 0; i < 10; ++i) {
+    model.train_step(sample, {0.3, 0.1, -0.1, -0.2});
+  }
+  const auto expected = model.predict(sample);
+
+  const std::string dump = model.save();
+  GcnModel restored(tiny());
+  ASSERT_TRUE(restored.load(dump));
+  const auto actual = restored.predict(sample);
+  for (int j = 0; j < kRuntimeOutputs; ++j) {
+    EXPECT_DOUBLE_EQ(actual[j], expected[j]);
+  }
+}
+
+TEST(GcnSerializationTest, RejectsWrongArchitecture) {
+  GcnModel model(tiny());
+  const std::string dump = model.save();
+  GcnConfig other = tiny();
+  other.hidden1 = 16;
+  GcnModel mismatched(other);
+  EXPECT_FALSE(mismatched.load(dump));
+}
+
+TEST(GcnSerializationTest, RejectsGarbage) {
+  GcnModel model(tiny());
+  EXPECT_FALSE(model.load("not a model"));
+  EXPECT_FALSE(model.load(""));
+  // Truncated dump.
+  const std::string dump = model.save();
+  EXPECT_FALSE(model.load(dump.substr(0, dump.size() / 2)));
+}
+
+TEST(GcnSerializationTest, FailedLoadLeavesModelIntact) {
+  GcnModel model(tiny());
+  const GraphSample sample = make_sample(12, 5);
+  const auto before = model.predict(sample);
+  ASSERT_FALSE(model.load("edacloud-gcn 1 20 8 8 8\nbroken"));
+  const auto after = model.predict(sample);
+  for (int j = 0; j < kRuntimeOutputs; ++j) {
+    EXPECT_DOUBLE_EQ(after[j], before[j]);
+  }
+}
+
+TEST(GcnSerializationTest, HeaderCarriesArchitecture) {
+  GcnModel model(tiny());
+  const std::string dump = model.save();
+  EXPECT_EQ(dump.rfind("edacloud-gcn 1 20 8 8 8", 0), 0u);
+}
+
+}  // namespace
+}  // namespace edacloud::ml

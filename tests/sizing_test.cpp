@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "nl/netlist_sim.hpp"
+#include "sta/sizing.hpp"
+#include "synth/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::sta {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+nl::Netlist synthesize(const nl::Aig& aig) {
+  synth::SynthesisEngine engine(library());
+  return engine.synthesize(aig, synth::default_recipe()).netlist;
+}
+
+TEST(SizingTest, ImprovesSlackUnderTightClock) {
+  const nl::Netlist netlist = synthesize(workloads::gen_alu(8));
+  StaEngine relaxed;
+  const double critical = relaxed.run(netlist, nullptr, {}).critical_path_ps;
+
+  StaOptions options;
+  options.clock_period_ps = critical * 0.9;  // violating by construction
+  StaEngine engine(options);
+
+  const SizingResult result = size_gates(netlist, nullptr, engine);
+  EXPECT_LT(result.slack_before_ps, 0.0);
+  EXPECT_GT(result.slack_after_ps, result.slack_before_ps);
+  EXPECT_GT(result.upsized_cells, 0);
+  EXPECT_GE(result.area_after_um2, result.area_before_um2);
+}
+
+TEST(SizingTest, PreservesLogicFunction) {
+  const nl::Netlist netlist = synthesize(workloads::gen_adder(8));
+  StaOptions options;
+  StaEngine relaxed;
+  options.clock_period_ps =
+      relaxed.run(netlist, nullptr, {}).critical_path_ps * 0.85;
+  StaEngine engine(options);
+  const SizingResult result = size_gates(netlist, nullptr, engine);
+
+  util::Rng rng(5);
+  std::vector<std::uint64_t> words(netlist.inputs().size());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(nl::simulate(netlist, words),
+            nl::simulate(result.netlist, words));
+}
+
+TEST(SizingTest, NoOpWhenTimingAlreadyMet) {
+  const nl::Netlist netlist = synthesize(workloads::gen_parity(16));
+  StaEngine engine;  // auto period: always met
+  const SizingResult result = size_gates(netlist, nullptr, engine);
+  EXPECT_EQ(result.upsized_cells, 0);
+  EXPECT_EQ(result.passes, 0);
+  EXPECT_TRUE(result.met);
+  EXPECT_DOUBLE_EQ(result.area_after_um2, result.area_before_um2);
+}
+
+TEST(SizingTest, StopsWhenNoUpgradeRemains) {
+  const nl::Netlist netlist = synthesize(workloads::gen_comparator(8));
+  StaOptions options;
+  StaEngine relaxed;
+  // Impossible clock: sizing must terminate gracefully without meeting it.
+  options.clock_period_ps =
+      relaxed.run(netlist, nullptr, {}).critical_path_ps * 0.01;
+  options.slack_margin = 1.0;
+  StaEngine engine(options);
+  SizingOptions sizing;
+  sizing.max_passes = 50;
+  const SizingResult result = size_gates(netlist, nullptr, engine, sizing);
+  EXPECT_FALSE(result.met);
+  EXPECT_LE(result.passes, 50);
+}
+
+TEST(SizingTest, CellCountUnchanged) {
+  const nl::Netlist netlist = synthesize(workloads::gen_alu(8));
+  StaOptions options;
+  StaEngine relaxed;
+  options.clock_period_ps =
+      relaxed.run(netlist, nullptr, {}).critical_path_ps * 0.9;
+  StaEngine engine(options);
+  const SizingResult result = size_gates(netlist, nullptr, engine);
+  EXPECT_EQ(result.netlist.stats().instance_count,
+            netlist.stats().instance_count);
+}
+
+}  // namespace
+}  // namespace edacloud::sta

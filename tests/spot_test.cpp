@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+
+namespace edacloud::core {
+namespace {
+
+RuntimeLadders sample_ladders() {
+  RuntimeLadders ladders{};
+  ladders[static_cast<int>(JobKind::kSynthesis)] = {6100, 4342, 3449, 3352};
+  ladders[static_cast<int>(JobKind::kPlacement)] = {1206, 905, 644, 519};
+  ladders[static_cast<int>(JobKind::kRouting)] = {10461, 5514, 2894, 1692};
+  ladders[static_cast<int>(JobKind::kSta)] = {183, 119, 90, 82};
+  return ladders;
+}
+
+TEST(SpotModelTest, ExpectedRuntimeStretchesWithLength) {
+  cloud::SpotModel spot;
+  const double short_job = spot.expected_runtime_seconds(600.0) / 600.0;
+  const double long_job =
+      spot.expected_runtime_seconds(36000.0) / 36000.0;
+  EXPECT_GT(long_job, short_job);
+  EXPECT_GE(short_job, 1.0);
+}
+
+TEST(SpotModelTest, ZeroInterruptionRateIsFree) {
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 0.0;
+  EXPECT_DOUBLE_EQ(spot.expected_runtime_seconds(5000.0), 5000.0);
+}
+
+TEST(SpotPricingTest, DiscountAppliesToExpectedRuntime) {
+  const auto catalog = cloud::PricingCatalog::aws_like();
+  cloud::SpotModel spot;
+  const double on_demand = catalog.job_cost_usd(
+      perf::InstanceFamily::kGeneralPurpose, 4, 3600.0);
+  const double spot_cost = catalog.spot_job_cost_usd(
+      perf::InstanceFamily::kGeneralPurpose, 4, 3600.0, spot);
+  EXPECT_LT(spot_cost, on_demand);
+}
+
+TEST(SpotOptimizerTest, SpotDoublesTheItemCount) {
+  DeploymentOptimizer optimizer;
+  optimizer.enable_spot(cloud::SpotModel{});
+  const auto stages = optimizer.build_stages(sample_ladders());
+  for (const auto& stage : stages) {
+    EXPECT_EQ(stage.items.size(), 8u);
+    EXPECT_NE(stage.items.back().label.find("-spot"), std::string::npos);
+  }
+}
+
+TEST(SpotOptimizerTest, RelaxedDeadlinePrefersSpot) {
+  DeploymentOptimizer optimizer;
+  optimizer.enable_spot(cloud::SpotModel{});
+  const auto plan = optimizer.optimize(sample_ladders(), 1e6);
+  ASSERT_TRUE(plan.feasible);
+  int spot_count = 0;
+  for (const auto& entry : plan.entries) spot_count += entry.spot ? 1 : 0;
+  // With unlimited time, the 65%-discounted spot machines win everywhere.
+  EXPECT_EQ(spot_count, 4);
+}
+
+TEST(SpotOptimizerTest, SpotNeverCostsMoreThanOnDemandPlan) {
+  DeploymentOptimizer with_spot;
+  with_spot.enable_spot(cloud::SpotModel{});
+  DeploymentOptimizer without_spot;
+  const auto ladders = sample_ladders();
+  for (double deadline : {6000.0, 9000.0, 15000.0, 30000.0}) {
+    const auto a = with_spot.optimize(ladders, deadline);
+    const auto b = without_spot.optimize(ladders, deadline);
+    ASSERT_EQ(a.feasible, b.feasible) << deadline;
+    if (a.feasible) {
+      // The spot-enabled instance is a superset: never worse.
+      EXPECT_LE(a.total_cost_usd, b.total_cost_usd + 1e-9) << deadline;
+    }
+  }
+}
+
+TEST(SpotOptimizerTest, TightDeadlineFallsBackToOnDemand) {
+  DeploymentOptimizer optimizer;
+  cloud::SpotModel risky;
+  risky.interruptions_per_hour = 2.0;   // brutal reclaim rate
+  risky.restart_overhead_fraction = 1.0;
+  optimizer.enable_spot(risky);
+  const auto ladders = sample_ladders();
+  const auto stages = DeploymentOptimizer().build_stages(ladders);
+  const double fastest = cloud::fastest_completion_seconds(stages);
+  const auto plan = optimizer.optimize(ladders, fastest * 1.02);
+  ASSERT_TRUE(plan.feasible);
+  // Near the feasibility edge, stretched spot runtimes cannot be used for
+  // the long stages.
+  for (const auto& entry : plan.entries) {
+    if (entry.job == JobKind::kRouting) {
+      EXPECT_FALSE(entry.spot);
+    }
+  }
+}
+
+TEST(SpotOptimizerTest, DisableRestoresFourItems) {
+  DeploymentOptimizer optimizer;
+  optimizer.enable_spot(cloud::SpotModel{});
+  optimizer.disable_spot();
+  const auto stages = optimizer.build_stages(sample_ladders());
+  EXPECT_EQ(stages[0].items.size(), 4u);
+}
+
+}  // namespace
+}  // namespace edacloud::core

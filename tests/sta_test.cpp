@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "place/placer.hpp"
+#include "sta/sta.hpp"
+#include "synth/engine.hpp"
+#include "workloads/generators.hpp"
+
+namespace edacloud::sta {
+namespace {
+
+const nl::CellLibrary& library() {
+  static const nl::CellLibrary lib = nl::make_generic_14nm_library();
+  return lib;
+}
+
+nl::Netlist synthesize(const nl::Aig& aig) {
+  synth::SynthesisEngine engine(library());
+  return engine.synthesize(aig, synth::default_recipe()).netlist;
+}
+
+TEST(StaTest, ArrivalsMonotoneAlongCriticalPath) {
+  const nl::Netlist netlist = synthesize(workloads::gen_adder(8));
+  StaEngine engine;
+  const TimingReport report = engine.run(netlist, nullptr, {});
+  ASSERT_GE(report.critical_path.size(), 2u);
+  for (std::size_t i = 1; i < report.critical_path.size(); ++i) {
+    EXPECT_GE(report.arrival_ps[report.critical_path[i]],
+              report.arrival_ps[report.critical_path[i - 1]]);
+  }
+}
+
+TEST(StaTest, CriticalPathEndsAtWorstOutput) {
+  const nl::Netlist netlist = synthesize(workloads::gen_adder(8));
+  StaEngine engine;
+  const TimingReport report = engine.run(netlist, nullptr, {});
+  double worst = 0.0;
+  for (nl::NodeId id : netlist.outputs()) {
+    worst = std::max(worst, report.arrival_ps[id]);
+  }
+  EXPECT_DOUBLE_EQ(report.critical_path_ps, worst);
+  ASSERT_FALSE(report.critical_path.empty());
+  EXPECT_DOUBLE_EQ(report.arrival_ps[report.critical_path.back()], worst);
+}
+
+TEST(StaTest, AutoPeriodLeavesPositiveSlack) {
+  const nl::Netlist netlist = synthesize(workloads::gen_alu(8));
+  StaEngine engine;
+  const TimingReport report = engine.run(netlist, nullptr, {});
+  EXPECT_GT(report.worst_slack_ps, 0.0);
+  EXPECT_EQ(report.violating_endpoints, 0u);
+  EXPECT_NEAR(report.clock_period_ps, report.critical_path_ps * 1.05,
+              1e-6);
+}
+
+TEST(StaTest, TightClockCreatesViolations) {
+  const nl::Netlist netlist = synthesize(workloads::gen_alu(8));
+  StaEngine relaxed;
+  const double critical = relaxed.run(netlist, nullptr, {}).critical_path_ps;
+
+  StaOptions options;
+  options.clock_period_ps = critical * 0.5;
+  StaEngine tight(options);
+  const TimingReport report = tight.run(netlist, nullptr, {});
+  EXPECT_LT(report.worst_slack_ps, 0.0);
+  EXPECT_GT(report.violating_endpoints, 0u);
+}
+
+TEST(StaTest, WorstSlackConsistentWithPeriod) {
+  const nl::Netlist netlist = synthesize(workloads::gen_parity(16));
+  StaOptions options;
+  options.clock_period_ps = 10000.0;
+  StaEngine engine(options);
+  const TimingReport report = engine.run(netlist, nullptr, {});
+  EXPECT_NEAR(report.worst_slack_ps,
+              options.clock_period_ps - report.critical_path_ps, 1e-6);
+}
+
+TEST(StaTest, SlackNonNegativeEverywhereWhenMet) {
+  const nl::Netlist netlist = synthesize(workloads::gen_comparator(8));
+  StaEngine engine;
+  const TimingReport report = engine.run(netlist, nullptr, {});
+  for (nl::NodeId id = 0; id < netlist.node_count(); ++id) {
+    EXPECT_GE(report.slack_ps[id], -1e-6) << id;
+  }
+}
+
+TEST(StaTest, PlacementAwareDelaysAreLarger) {
+  const nl::Netlist netlist = synthesize(workloads::gen_alu(8));
+  place::QuadraticPlacer placer;
+  const auto placement = placer.place(netlist);
+  StaEngine engine;
+  const double without =
+      engine.run(netlist, nullptr, {}).critical_path_ps;
+  const double with =
+      engine.run(netlist, &placement, {}).critical_path_ps;
+  // Real wire lengths generally exceed the fanout-based default estimate
+  // for at least part of the die; both must be positive and same order.
+  EXPECT_GT(without, 0.0);
+  EXPECT_GT(with, 0.0);
+  EXPECT_LT(with / without, 50.0);
+  EXPECT_GT(with / without, 0.02);
+}
+
+TEST(StaTest, DeeperLogicHasLongerCriticalPath) {
+  const nl::Netlist shallow = synthesize(workloads::gen_parity(16));
+  const nl::Netlist deep = synthesize(workloads::gen_multiplier(8));
+  StaEngine engine;
+  EXPECT_LT(engine.run(shallow, nullptr, {}).critical_path_ps,
+            engine.run(deep, nullptr, {}).critical_path_ps);
+}
+
+TEST(StaTest, InstrumentedRunHasFpSignature) {
+  const nl::Netlist netlist = synthesize(workloads::gen_alu(8));
+  const auto ladder = perf::vm_ladder(perf::InstanceFamily::kGeneralPurpose);
+  StaEngine engine;
+  const TimingReport report =
+      engine.run(netlist, nullptr, {ladder.begin(), ladder.end()});
+  ASSERT_EQ(report.profile.counts.size(), 4u);
+  // STA is FP-heavy (library lookups) but less AVX-pure than placement.
+  EXPECT_GT(report.profile.counts[0].avx_fraction(), 0.3);
+  EXPECT_GT(report.profile.counts[0].fp_ops, 0u);
+  EXPECT_GT(report.profile.tasks.task_count(), 0u);
+}
+
+TEST(StaTest, EndpointCountMatchesOutputs) {
+  const nl::Netlist netlist = synthesize(workloads::gen_decoder(4));
+  StaEngine engine;
+  const TimingReport report = engine.run(netlist, nullptr, {});
+  EXPECT_EQ(report.endpoint_count, netlist.outputs().size());
+}
+
+}  // namespace
+}  // namespace edacloud::sta

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "nl/star_graph.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+TEST(StarGraphTest, NetlistFeatureShapes) {
+  const CellLibrary lib = make_generic_14nm_library();
+  Netlist n("t", &lib);
+  const NodeId a = n.add_input();
+  const NodeId b = n.add_input();
+  const NodeId g = n.add_cell(*lib.find("NAND2_X1"), {a, b});
+  n.add_output(g);
+
+  const DesignGraph graph = graph_from_netlist(n);
+  EXPECT_EQ(graph.node_count(), 4u);
+  EXPECT_EQ(graph.features.size(), 4u * kNodeFeatureDim);
+
+  // PI marker set on inputs.
+  EXPECT_DOUBLE_EQ(graph.feature_row(a)[0], 1.0);
+  EXPECT_DOUBLE_EQ(graph.feature_row(a)[1], 0.0);
+  // PO marker.
+  EXPECT_DOUBLE_EQ(graph.feature_row(3)[1], 1.0);
+  // Cell one-hot: NAND slot.
+  const int nand_slot = 3 + static_cast<int>(CellFunction::kNand);
+  EXPECT_DOUBLE_EQ(graph.feature_row(g)[nand_slot], 1.0);
+  // Bias channel everywhere.
+  for (NodeId id = 0; id < 4; ++id) {
+    EXPECT_DOUBLE_EQ(graph.feature_row(id)[19], 1.0);
+  }
+}
+
+TEST(StarGraphTest, StarModelEdgeDirection) {
+  const CellLibrary lib = make_generic_14nm_library();
+  Netlist n("t", &lib);
+  const NodeId a = n.add_input();
+  const NodeId g1 = n.add_cell(*lib.find("INV_X1"), {a});
+  const NodeId g2 = n.add_cell(*lib.find("INV_X1"), {a});
+  n.add_output(g1);
+  n.add_output(g2);
+  const DesignGraph graph = graph_from_netlist(n);
+  // Driver a has two sinks: two directed edges out.
+  EXPECT_EQ(graph.forward.degree(a), 2u);
+  EXPECT_EQ(graph.forward.degree(g1), 1u);  // to PO
+}
+
+TEST(StarGraphTest, AigGraphMarksAndNodes) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  const Literal x = aig.and_of(a, literal_not(b));
+  aig.add_output(x);
+  const DesignGraph graph = graph_from_aig(aig);
+  const AigNode xn = literal_node(x);
+  EXPECT_DOUBLE_EQ(graph.feature_row(xn)[2], 1.0);   // AND marker
+  EXPECT_DOUBLE_EQ(graph.feature_row(xn)[18], 0.5);  // one of two compl
+  EXPECT_DOUBLE_EQ(graph.feature_row(literal_node(a))[0], 1.0);
+}
+
+TEST(StarGraphTest, LevelFeatureNormalized) {
+  Aig aig;
+  Literal acc = aig.add_input();
+  for (int i = 0; i < 4; ++i) {
+    const Literal next = aig.add_input();
+    (void)next;
+  }
+  for (AigNode in : aig.inputs()) {
+    acc = aig.and_of(acc, make_literal(in, false));
+  }
+  aig.add_output(acc);
+  const DesignGraph graph = graph_from_aig(aig);
+  // Deepest node's level feature is 1.0.
+  double max_level = 0.0;
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    max_level = std::max(max_level, graph.feature_row(v)[17]);
+  }
+  EXPECT_DOUBLE_EQ(max_level, 1.0);
+}
+
+TEST(StarGraphTest, SummaryCountsMatch) {
+  Aig aig;
+  const Literal a = aig.add_input();
+  const Literal b = aig.add_input();
+  aig.add_output(aig.xor_of(a, b));
+  const DesignGraph graph = graph_from_aig(aig);
+  const GraphSummary summary = summarize(graph);
+  EXPECT_EQ(summary.node_count, aig.node_count());
+  EXPECT_EQ(summary.edge_count, graph.forward.edge_count());
+  EXPECT_EQ(summary.depth, aig.depth());
+  EXPECT_GT(summary.avg_fanout, 0.0);
+}
+
+TEST(StarGraphTest, EmptySummary) {
+  DesignGraph graph;
+  const GraphSummary summary = summarize(graph);
+  EXPECT_EQ(summary.node_count, 0u);
+  EXPECT_EQ(summary.depth, 0u);
+}
+
+}  // namespace
+}  // namespace edacloud::nl

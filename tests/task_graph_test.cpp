@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "perf/task_graph.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::perf {
+namespace {
+
+TEST(TaskGraphTest, EmptyGraphZeroMakespan) {
+  TaskGraph graph;
+  EXPECT_DOUBLE_EQ(graph.makespan(1), 0.0);
+  EXPECT_DOUBLE_EQ(graph.makespan(8), 0.0);
+  EXPECT_DOUBLE_EQ(graph.total_work(), 0.0);
+}
+
+TEST(TaskGraphTest, SingleWorkerEqualsTotalWork) {
+  TaskGraph graph;
+  graph.add_task(3.0);
+  graph.add_task(5.0);
+  EXPECT_DOUBLE_EQ(graph.makespan(1), 8.0);
+}
+
+TEST(TaskGraphTest, IndependentTasksParallelizePerfectly) {
+  TaskGraph graph;
+  for (int i = 0; i < 8; ++i) graph.add_task(1.0);
+  EXPECT_DOUBLE_EQ(graph.makespan(8), 1.0);
+  EXPECT_DOUBLE_EQ(graph.makespan(4), 2.0);
+  EXPECT_DOUBLE_EQ(graph.speedup(8), 8.0);
+}
+
+TEST(TaskGraphTest, ChainNeverSpeedsUp) {
+  TaskGraph graph;
+  TaskId prev = graph.add_task(1.0);
+  for (int i = 0; i < 9; ++i) prev = graph.add_task(1.0, {prev});
+  EXPECT_DOUBLE_EQ(graph.makespan(8), 10.0);
+  EXPECT_DOUBLE_EQ(graph.critical_path(), 10.0);
+}
+
+TEST(TaskGraphTest, CriticalPathOfDiamond) {
+  TaskGraph graph;
+  const TaskId a = graph.add_task(1.0);
+  const TaskId b = graph.add_task(5.0, {a});
+  const TaskId c = graph.add_task(1.0, {a});
+  graph.add_task(1.0, {b, c});
+  EXPECT_DOUBLE_EQ(graph.critical_path(), 7.0);
+  EXPECT_DOUBLE_EQ(graph.makespan(2), 7.0);
+}
+
+TEST(TaskGraphTest, DependencyOnFutureTaskThrows) {
+  TaskGraph graph;
+  EXPECT_THROW(graph.add_task(1.0, {0}), std::invalid_argument);
+}
+
+TEST(TaskGraphTest, NegativeCostThrows) {
+  TaskGraph graph;
+  EXPECT_THROW(graph.add_task(-1.0), std::invalid_argument);
+}
+
+TEST(TaskGraphTest, ZeroWorkersThrows) {
+  TaskGraph graph;
+  graph.add_task(1.0);
+  EXPECT_THROW((void)graph.makespan(0), std::invalid_argument);
+}
+
+TEST(TaskGraphTest, AmdahlStructure) {
+  // Serial 40 + 60 perfectly parallel: speedup(k) = 100/(40 + 60/k).
+  TaskGraph graph;
+  const TaskId serial = graph.add_task(40.0);
+  for (int i = 0; i < 60; ++i) graph.add_task(1.0, {serial});
+  EXPECT_NEAR(graph.makespan(1), 100.0, 1e-9);
+  EXPECT_NEAR(graph.makespan(2), 70.0, 1e-9);
+  EXPECT_NEAR(graph.makespan(4), 55.0, 1e-9);
+  EXPECT_NEAR(graph.makespan(60), 41.0, 1e-9);
+}
+
+// Property sweep over random DAGs: fundamental scheduling bounds hold and
+// makespan is monotone non-increasing in worker count.
+class RandomTaskGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTaskGraphTest, BoundsAndMonotonicity) {
+  util::Rng rng(GetParam());
+  TaskGraph graph;
+  const int n = 40 + static_cast<int>(rng.next_below(100));
+  for (int i = 0; i < n; ++i) {
+    std::vector<TaskId> deps;
+    const int dep_count = static_cast<int>(rng.next_below(3));
+    for (int d = 0; d < dep_count && i > 0; ++d) {
+      deps.push_back(static_cast<TaskId>(rng.next_below(i)));
+    }
+    graph.add_task(rng.next_double(0.5, 4.0), deps);
+  }
+  const double work = graph.total_work();
+  const double critical = graph.critical_path();
+  double previous = 1e300;
+  for (int workers : {1, 2, 3, 4, 8, 16}) {
+    const double span = graph.makespan(workers);
+    EXPECT_GE(span, critical - 1e-9);
+    EXPECT_GE(span, work / workers - 1e-9);
+    EXPECT_LE(span, work + 1e-9);
+    // Graham anomalies allow small regressions when adding workers; we
+    // only demand near-monotonicity.
+    EXPECT_LE(span, previous * 1.15 + 1e-9);
+    previous = span;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTaskGraphTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace edacloud::perf

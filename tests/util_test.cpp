@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace edacloud::util {
+namespace {
+
+// ---- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.08);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  EXPECT_NE(a(), child());
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(v), 3.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(2.5), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+}
+
+TEST(StatsTest, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+}
+
+TEST(StatsTest, MapeMatchesHandComputation) {
+  const std::vector<double> truth = {10, 20};
+  const std::vector<double> pred = {11, 18};
+  EXPECT_NEAR(mape(truth, pred), (0.1 + 0.1) / 2, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonAnticorrelation) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 2, 1};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(StringsTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(StringsTest, FormatDuration) {
+  EXPECT_EQ(format_duration(10.5), "10.5s");
+  EXPECT_EQ(format_duration(75), "1m 15s");
+  EXPECT_EQ(format_duration(3725), "1h 02m 05s");
+}
+
+TEST(StringsTest, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-9876), "-9,876");
+}
+
+TEST(StringsTest, FormatPercent) {
+  EXPECT_EQ(format_percent(0.1234, 1), "12.3%");
+}
+
+TEST(StringsTest, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("xyz", 2), "xyz");
+}
+
+// ---- table ------------------------------------------------------------------
+
+TEST(TableTest, RendersHeadersAndRows) {
+  Table table({"Name", "Value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"A", "B", "C"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TableTest, SeparatorInsertsRule) {
+  Table table({"A"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // header rule + bottom rule + separator + top = 4 horizontal lines.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+// ---- csv --------------------------------------------------------------------
+
+TEST(CsvTest, BasicSerialization) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"x"});
+  csv.add_row({"has,comma"});
+  csv.add_row({"has\"quote"});
+  const std::string out = csv.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter csv({"h"});
+  csv.add_row({"v"});
+  const std::string path = "/tmp/edacloud_csv_test.csv";
+  EXPECT_TRUE(csv.write(path));
+}
+
+// ---- histogram --------------------------------------------------------------
+
+TEST(HistogramTest, BinsValues) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);
+  h.add(0.95);
+  h.add(0.95);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(HistogramTest, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 7; ++i) h.add(0.25);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edacloud::util

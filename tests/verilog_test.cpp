@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "nl/netlist_sim.hpp"
+#include "nl/verilog.hpp"
+#include "synth/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::nl {
+namespace {
+
+const CellLibrary& library() {
+  static const CellLibrary lib = make_generic_14nm_library();
+  return lib;
+}
+
+Netlist small_netlist() {
+  Netlist n("demo", &library());
+  const NodeId a = n.add_input();
+  const NodeId b = n.add_input();
+  const NodeId g1 = n.add_cell(*library().find("NAND2_X1"), {a, b});
+  const NodeId g2 = n.add_cell(*library().find("INV_X1"), {g1});
+  n.add_output(g2);
+  n.add_output(g1);
+  return n;
+}
+
+TEST(VerilogWriterTest, EmitsModuleStructure) {
+  const std::string text = write_verilog(small_netlist());
+  EXPECT_NE(text.find("module demo"), std::string::npos);
+  EXPECT_NE(text.find("input pi0;"), std::string::npos);
+  EXPECT_NE(text.find("output po0;"), std::string::npos);
+  EXPECT_NE(text.find("NAND2_X1"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogRoundTripTest, SmallNetlistIsEquivalent) {
+  const Netlist original = small_netlist();
+  const auto parsed = parse_verilog(write_verilog(original), library());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.netlist.inputs().size(), original.inputs().size());
+  EXPECT_EQ(parsed.netlist.outputs().size(), original.outputs().size());
+  util::Rng rng(1);
+  const std::vector<std::uint64_t> words = {rng(), rng()};
+  EXPECT_EQ(simulate(original, words), simulate(parsed.netlist, words));
+}
+
+TEST(VerilogParserTest, RejectsUnknownCell) {
+  const std::string text = R"(
+    module t (a, y);
+    input a; output y; wire n1;
+    FOO_X1 g1 (.A(a), .Y(n1));
+    assign y = n1;
+    endmodule)";
+  const auto parsed = parse_verilog(text, library());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("unknown cell"), std::string::npos);
+}
+
+TEST(VerilogParserTest, RejectsMissingPin) {
+  const std::string text = R"(
+    module t (a, y);
+    input a; output y; wire n1;
+    NAND2_X1 g1 (.A(a), .Y(n1));
+    assign y = n1;
+    endmodule)";
+  const auto parsed = parse_verilog(text, library());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("missing pin"), std::string::npos);
+}
+
+TEST(VerilogParserTest, RejectsUndrivenOutput) {
+  const std::string text = R"(
+    module t (a, y);
+    input a; output y;
+    endmodule)";
+  const auto parsed = parse_verilog(text, library());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("undriven"), std::string::npos);
+}
+
+TEST(VerilogParserTest, RejectsCombinationalCycle) {
+  const std::string text = R"(
+    module t (a, y);
+    input a; output y; wire n1; wire n2;
+    INV_X1 g1 (.A(n2), .Y(n1));
+    INV_X1 g2 (.A(n1), .Y(n2));
+    assign y = n1;
+    endmodule)";
+  const auto parsed = parse_verilog(text, library());
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_NE(parsed.error.find("cycle"), std::string::npos);
+}
+
+TEST(VerilogParserTest, HandlesOutOfOrderInstances) {
+  // g2 references n1 before g1 defines it: parser must converge anyway.
+  const std::string text = R"(
+    module t (a, y);
+    input a; output y; wire n1; wire n2;
+    INV_X1 g2 (.A(n1), .Y(n2));
+    INV_X1 g1 (.A(a), .Y(n1));
+    assign y = n2;
+    endmodule)";
+  const auto parsed = parse_verilog(text, library());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const auto out = simulate(parsed.netlist, {0xFFULL});
+  EXPECT_EQ(out[0], 0xFFULL);  // double inversion
+}
+
+TEST(VerilogParserTest, IgnoresComments) {
+  const std::string text = R"(
+    // header comment
+    module t (a, y);
+    input a; // trailing
+    output y; wire n1;
+    INV_X1 g1 (.A(a), .Y(n1));
+    assign y = n1;
+    endmodule)";
+  EXPECT_TRUE(parse_verilog(text, library()).ok);
+}
+
+// Round-trip property over synthesized benchmark families.
+class VerilogRoundTripSweep
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VerilogRoundTripSweep, SynthesizedNetlistRoundTrips) {
+  workloads::BenchmarkSpec spec;
+  spec.family = GetParam();
+  for (const auto& info : workloads::families()) {
+    if (info.name == spec.family) spec.size = info.corpus_sizes.front();
+  }
+  spec.seed = 23;
+  const Aig aig = workloads::generate(spec);
+  synth::SynthesisEngine engine(library());
+  const Netlist netlist =
+      engine.synthesize(aig, synth::default_recipe()).netlist;
+
+  const auto parsed = parse_verilog(write_verilog(netlist), library());
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_EQ(parsed.netlist.inputs().size(), netlist.inputs().size());
+  util::Rng rng(29);
+  std::vector<std::uint64_t> words(netlist.inputs().size());
+  for (auto& w : words) w = rng();
+  EXPECT_EQ(simulate(netlist, words), simulate(parsed.netlist, words));
+  EXPECT_EQ(parsed.netlist.stats().instance_count,
+            netlist.stats().instance_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, VerilogRoundTripSweep,
+                         ::testing::Values("adder", "alu", "decoder",
+                                           "voter", "cavlc", "sbox",
+                                           "dynamic_node", "crossbar"));
+
+}  // namespace
+}  // namespace edacloud::nl

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::workloads {
+namespace {
+
+using nl::Literal;
+
+/// Extract lane `lane` of each output word into an integer (bit i of the
+/// result = lane bit of output i).
+std::uint64_t lane_value(const std::vector<std::uint64_t>& outputs,
+                         std::size_t lane, int bits) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    value |= ((outputs[static_cast<std::size_t>(i)] >> lane) & 1ULL) << i;
+  }
+  return value;
+}
+
+/// Pack scalar operand values into per-input lane words.
+void pack_operand(std::vector<std::uint64_t>& words, int offset, int width,
+                  std::uint64_t value, std::size_t lane) {
+  for (int i = 0; i < width; ++i) {
+    if ((value >> i) & 1ULL) {
+      words[static_cast<std::size_t>(offset + i)] |= 1ULL << lane;
+    }
+  }
+}
+
+TEST(AdderTest, AddsCorrectly) {
+  const int w = 8;
+  const nl::Aig aig = gen_adder(w);
+  ASSERT_EQ(aig.input_count(), static_cast<std::size_t>(2 * w + 1));
+  std::vector<std::uint64_t> words(aig.input_count(), 0);
+  util::Rng rng(1);
+  std::vector<std::uint64_t> as(64), bs(64), cins(64);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    as[lane] = rng.next_below(1 << w);
+    bs[lane] = rng.next_below(1 << w);
+    cins[lane] = rng.next_below(2);
+    pack_operand(words, 0, w, as[lane], lane);
+    pack_operand(words, w, w, bs[lane], lane);
+    pack_operand(words, 2 * w, 1, cins[lane], lane);
+  }
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    const std::uint64_t expected = as[lane] + bs[lane] + cins[lane];
+    EXPECT_EQ(lane_value(out, lane, w + 1), expected) << "lane " << lane;
+  }
+}
+
+TEST(MultiplierTest, MultipliesCorrectly) {
+  const int w = 6;
+  const nl::Aig aig = gen_multiplier(w);
+  std::vector<std::uint64_t> words(aig.input_count(), 0);
+  util::Rng rng(2);
+  std::vector<std::uint64_t> as(64), bs(64);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    as[lane] = rng.next_below(1 << w);
+    bs[lane] = rng.next_below(1 << w);
+    pack_operand(words, 0, w, as[lane], lane);
+    pack_operand(words, w, w, bs[lane], lane);
+  }
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    EXPECT_EQ(lane_value(out, lane, 2 * w), as[lane] * bs[lane]);
+  }
+}
+
+TEST(ComparatorTest, FlagsCorrect) {
+  const int w = 8;
+  const nl::Aig aig = gen_comparator(w);
+  std::vector<std::uint64_t> words(aig.input_count(), 0);
+  util::Rng rng(3);
+  std::vector<std::uint64_t> as(64), bs(64);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    as[lane] = rng.next_below(1 << w);
+    bs[lane] = lane % 4 == 0 ? as[lane] : rng.next_below(1 << w);
+    pack_operand(words, 0, w, as[lane], lane);
+    pack_operand(words, w, w, bs[lane], lane);
+  }
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    const bool eq = (out[0] >> lane) & 1;
+    const bool lt = (out[1] >> lane) & 1;
+    const bool gt = (out[2] >> lane) & 1;
+    EXPECT_EQ(eq, as[lane] == bs[lane]);
+    EXPECT_EQ(lt, as[lane] < bs[lane]);
+    EXPECT_EQ(gt, as[lane] > bs[lane]);
+  }
+}
+
+TEST(ParityTest, XorReduction) {
+  const nl::Aig aig = gen_parity(16);
+  std::vector<std::uint64_t> words(16, 0);
+  util::Rng rng(4);
+  for (auto& w : words) w = rng();
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    int ones = 0;
+    for (const auto w : words) ones += (w >> lane) & 1;
+    EXPECT_EQ((out[0] >> lane) & 1, static_cast<std::uint64_t>(ones & 1));
+  }
+}
+
+TEST(VoterTest, MajorityThreshold) {
+  const int n = 15;
+  const nl::Aig aig = gen_voter(n);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n), 0);
+  util::Rng rng(5);
+  for (auto& w : words) w = rng();
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    int ones = 0;
+    for (const auto w : words) ones += (w >> lane) & 1;
+    EXPECT_EQ((out[0] >> lane) & 1,
+              static_cast<std::uint64_t>(ones > n / 2 ? 1 : 0))
+        << "ones=" << ones;
+  }
+}
+
+TEST(MaxTest, FourOperandMax) {
+  const int w = 6;
+  const nl::Aig aig = gen_max(w);
+  std::vector<std::uint64_t> words(aig.input_count(), 0);
+  util::Rng rng(6);
+  std::vector<std::array<std::uint64_t, 4>> ops(64);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    for (int k = 0; k < 4; ++k) {
+      ops[lane][static_cast<std::size_t>(k)] = rng.next_below(1 << w);
+      pack_operand(words, k * w, w, ops[lane][static_cast<std::size_t>(k)],
+                   lane);
+    }
+  }
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    const std::uint64_t expected =
+        std::max(std::max(ops[lane][0], ops[lane][1]),
+                 std::max(ops[lane][2], ops[lane][3]));
+    EXPECT_EQ(lane_value(out, lane, w), expected);
+  }
+}
+
+TEST(DecoderTest, OneHotOutput) {
+  const int bits = 4;
+  const nl::Aig aig = gen_decoder(bits);
+  // inputs: address bits + enable.
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(bits) + 1, 0);
+  util::Rng rng(7);
+  std::vector<std::uint64_t> addresses(64);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    addresses[lane] = rng.next_below(1 << bits);
+    pack_operand(words, 0, bits, addresses[lane], lane);
+  }
+  words.back() = ~0ULL;  // enable all lanes
+  const auto out = aig.simulate(words);
+  ASSERT_EQ(out.size(), 1u << bits);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      EXPECT_EQ((out[o] >> lane) & 1,
+                static_cast<std::uint64_t>(o == addresses[lane] ? 1 : 0));
+    }
+  }
+}
+
+TEST(ShifterTest, RotatesLeft) {
+  const int log2w = 3;  // width 8
+  const int w = 1 << log2w;
+  const nl::Aig aig = gen_shifter(log2w);
+  std::vector<std::uint64_t> words(aig.input_count(), 0);
+  util::Rng rng(8);
+  std::vector<std::uint64_t> data(64), amounts(64);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    data[lane] = rng.next_below(1 << w);
+    amounts[lane] = rng.next_below(static_cast<std::uint64_t>(w));
+    pack_operand(words, 0, w, data[lane], lane);
+    pack_operand(words, w, log2w, amounts[lane], lane);
+  }
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    const auto rot = static_cast<unsigned>(amounts[lane]);
+    const std::uint64_t mask = (1ULL << w) - 1;
+    const std::uint64_t expected =
+        ((data[lane] << rot) | (data[lane] >> (w - rot))) & mask;
+    EXPECT_EQ(lane_value(out, lane, w),
+              rot == 0 ? data[lane] : expected);
+  }
+}
+
+TEST(EncoderTest, PriorityIndex) {
+  const int n = 8;
+  const nl::Aig aig = gen_encoder(n);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n), 0);
+  util::Rng rng(9);
+  for (auto& w : words) w = rng();
+  const auto out = aig.simulate(words);
+  const int out_bits = static_cast<int>(out.size()) - 1;  // last = valid
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    int first = -1;
+    for (int i = 0; i < n; ++i) {
+      if ((words[static_cast<std::size_t>(i)] >> lane) & 1) {
+        first = i;
+        break;
+      }
+    }
+    const bool valid = (out.back() >> lane) & 1;
+    EXPECT_EQ(valid, first >= 0);
+    if (first >= 0) {
+      EXPECT_EQ(lane_value(out, lane, out_bits),
+                static_cast<std::uint64_t>(first));
+    }
+  }
+}
+
+TEST(ArbiterTest, ExactlyOneGrantWhenRequested) {
+  const int n = 8;
+  const nl::Aig aig = gen_arbiter(n);
+  std::vector<std::uint64_t> words(aig.input_count(), 0);
+  util::Rng rng(10);
+  for (auto& w : words) w = rng();
+  const auto out = aig.simulate(words);
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    int grants = 0;
+    bool requested = false;
+    for (int i = 0; i < n; ++i) {
+      grants += (out[static_cast<std::size_t>(i)] >> lane) & 1;
+      requested |= ((words[static_cast<std::size_t>(i)] >> lane) & 1) != 0;
+    }
+    if (requested) {
+      EXPECT_EQ(grants, 1) << "lane " << lane;
+    } else {
+      EXPECT_EQ(grants, 0);
+    }
+  }
+}
+
+// ---- registry / structural sweep -------------------------------------------
+
+class FamilySweepTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilySweepTest, GeneratesNonTrivialDag) {
+  BenchmarkSpec spec;
+  spec.family = GetParam();
+  // Use the family's smallest corpus size.
+  for (const FamilyInfo& info : families()) {
+    if (info.name == spec.family) spec.size = info.corpus_sizes.front();
+  }
+  spec.seed = 99;
+  const nl::Aig aig = generate(spec);
+  EXPECT_GT(aig.and_count(), 4u) << spec.family;
+  EXPECT_GT(aig.input_count(), 0u);
+  EXPECT_GT(aig.output_count(), 0u);
+  EXPECT_GT(aig.depth(), 1u);
+  // Outputs reference live structure.
+  const auto alive = aig.live_nodes();
+  std::size_t live_count = 0;
+  for (bool a : alive) live_count += a ? 1 : 0;
+  EXPECT_GT(live_count, aig.input_count());
+}
+
+TEST_P(FamilySweepTest, DeterministicForSameSeed) {
+  BenchmarkSpec spec;
+  spec.family = GetParam();
+  for (const FamilyInfo& info : families()) {
+    if (info.name == spec.family) spec.size = info.corpus_sizes.front();
+  }
+  spec.seed = 5;
+  const nl::Aig a = generate(spec);
+  const nl::Aig b = generate(spec);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.output_count(), b.output_count());
+}
+
+std::vector<std::string> family_names() {
+  std::vector<std::string> names;
+  for (const FamilyInfo& info : families()) names.push_back(info.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilySweepTest,
+                         ::testing::ValuesIn(family_names()));
+
+TEST(RegistryTest, EighteenFamilies) {
+  EXPECT_EQ(families().size(), 18u);
+}
+
+TEST(RegistryTest, CorpusSpecsRespectCap) {
+  EXPECT_EQ(corpus_specs(10).size(), 10u);
+  EXPECT_GE(corpus_specs().size(), 60u);
+}
+
+TEST(RegistryTest, SizesGrowWithinFamily) {
+  for (const FamilyInfo& info : families()) {
+    for (std::size_t i = 1; i < info.corpus_sizes.size(); ++i) {
+      EXPECT_LT(info.corpus_sizes[i - 1], info.corpus_sizes[i]) << info.name;
+    }
+  }
+}
+
+TEST(RegistryTest, CharacterizationSetOrderedBySizeLabel) {
+  const auto designs = characterization_designs();
+  EXPECT_GE(designs.size(), 4u);
+  EXPECT_EQ(designs.front().name, "dynamic_node");
+  EXPECT_EQ(designs.back().name, "sparc_core");
+}
+
+TEST(RegistryTest, UnknownFamilyThrows) {
+  BenchmarkSpec spec;
+  spec.family = "warp_drive";
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+TEST(RegistryTest, NonPositiveSizeThrows) {
+  BenchmarkSpec spec;
+  spec.family = "adder";
+  spec.size = 0;
+  EXPECT_THROW(generate(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edacloud::workloads
