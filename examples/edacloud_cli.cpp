@@ -5,6 +5,8 @@
 //   edacloud_cli flow  <family> <size>            # run + QoR summary
 //   edacloud_cli plan  <family> <size> <deadline> [--spot]
 //   edacloud_cli lib   [--out lib.lib]            # dump the built-in library
+//   edacloud_cli fleet-sim [--arrival-rate R] [--policy P] [--seed N]
+//                          [--duration S] [--mix M] [--spot F]
 //
 // Every subcommand works on files in the formats the library speaks
 // (ASCII AIGER in, structural Verilog / Liberty / DOT out), so the tool
@@ -19,6 +21,7 @@
 
 #include "core/characterize.hpp"
 #include "core/optimizer.hpp"
+#include "sched/simulator.hpp"
 #include "nl/aiger.hpp"
 #include "nl/dot.hpp"
 #include "nl/liberty.hpp"
@@ -41,6 +44,11 @@ int usage() {
                "  edacloud_cli flow  <family> <size>\n"
                "  edacloud_cli plan  <family> <size> <deadline_s> [--spot]\n"
                "  edacloud_cli lib   [--out F]\n"
+               "  edacloud_cli fleet-sim [--arrival-rate JOBS_PER_HOUR]\n"
+               "                         [--policy fifo|cost|edf] [--seed N]\n"
+               "                         [--duration SECONDS]\n"
+               "                         [--mix uniform|skewed|bursty]\n"
+               "                         [--spot FRACTION]\n"
                "families:");
   for (const auto& info : workloads::families()) {
     std::fprintf(stderr, " %s", info.name.c_str());
@@ -214,6 +222,52 @@ int cmd_plan(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fleet_sim(const std::vector<std::string>& args) {
+  sched::SimConfig config;
+  config.seed = 1;
+  config.duration_seconds = 4.0 * 3600.0;
+  config.load.arrival_rate_per_hour = 60.0;
+  config.load.mix = sched::uniform_mix();
+  config.fleet.boot_seconds = 45.0;
+  config.warm_pools = {
+      {{perf::InstanceFamily::kGeneralPurpose, 8}, 2},
+      {{perf::InstanceFamily::kGeneralPurpose, 1}, 2},
+      {{perf::InstanceFamily::kMemoryOptimized, 1}, 2},
+  };
+
+  std::string policy_name = "cost";
+  const std::string rate = flag_value(args, "--arrival-rate");
+  if (!rate.empty()) config.load.arrival_rate_per_hour = std::atof(rate.c_str());
+  const std::string policy = flag_value(args, "--policy");
+  if (!policy.empty()) policy_name = policy;
+  const std::string seed = flag_value(args, "--seed");
+  if (!seed.empty()) config.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  const std::string duration = flag_value(args, "--duration");
+  if (!duration.empty()) config.duration_seconds = std::atof(duration.c_str());
+  const std::string mix = flag_value(args, "--mix");
+  if (!mix.empty()) config.load.mix = sched::mix_by_name(mix);
+  const std::string spot = flag_value(args, "--spot");
+  if (!spot.empty()) config.fleet.spot_fraction = std::atof(spot.c_str());
+
+  if (config.load.arrival_rate_per_hour <= 0.0 ||
+      config.duration_seconds <= 0.0) {
+    std::fprintf(stderr, "error: arrival rate and duration must be > 0\n");
+    return 2;
+  }
+
+  std::printf(
+      "fleet-sim: mix=%s policy=%s rate=%.0f/h duration=%.0fs seed=%llu "
+      "spot=%.0f%%\n",
+      config.load.mix.name.c_str(), policy_name.c_str(),
+      config.load.arrival_rate_per_hour, config.duration_seconds,
+      static_cast<unsigned long long>(config.seed),
+      config.fleet.spot_fraction * 100.0);
+  sched::FleetSimulator sim(config, sched::builtin_templates(),
+                            sched::make_policy(policy_name));
+  std::printf("%s", sim.run().render().c_str());
+  return 0;
+}
+
 int cmd_lib(const std::vector<std::string>& args) {
   const nl::CellLibrary library = nl::make_generic_14nm_library();
   const std::string text = nl::write_liberty(library);
@@ -235,6 +289,7 @@ int main(int argc, char** argv) {
     if (command == "flow") return cmd_flow(args);
     if (command == "plan") return cmd_plan(args);
     if (command == "lib") return cmd_lib(args);
+    if (command == "fleet-sim") return cmd_fleet_sim(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain Release build and an ASan+UBSan build.
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitized pass (plain build + tests only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_pass() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== ${name}: configure (${build_dir}) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== ${name}: build ==="
+  cmake --build "${build_dir}" -j
+  echo "=== ${name}: ctest ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_pass "plain" build
+
+if [[ "${1:-}" != "--fast" ]]; then
+  run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
+fi
+
+echo "=== all passes green ==="

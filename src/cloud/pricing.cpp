@@ -1,9 +1,33 @@
 #include "cloud/pricing.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace edacloud::cloud {
+
+namespace {
+
+/// Poisson(lambda) via Knuth's product-of-uniforms for small rates and a
+/// rounded normal approximation beyond (exp(-lambda) underflows there).
+int sample_poisson(double lambda, util::Rng& rng) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    int count = 0;
+    double product = rng.next_double();
+    while (product > limit) {
+      ++count;
+      product *= rng.next_double();
+    }
+    return count;
+  }
+  const double draw = lambda + std::sqrt(lambda) * rng.next_gaussian();
+  return static_cast<int>(std::max(0.0, std::round(draw)));
+}
+
+}  // namespace
 
 void PricingCatalog::set_rate(perf::InstanceFamily family,
                               double usd_per_vcpu_hour) {
@@ -33,6 +57,32 @@ double PricingCatalog::rate(perf::InstanceFamily family) const {
       return compute_;
   }
   return general_;
+}
+
+std::vector<double> SpotModel::sample_interruptions(double runtime_seconds,
+                                                    util::Rng& rng) const {
+  if (runtime_seconds <= 0.0) return {};
+  const double lambda = interruptions_per_hour * runtime_seconds / 3600.0;
+  const int count = sample_poisson(lambda, rng);
+  std::vector<double> offsets(static_cast<std::size_t>(count));
+  for (auto& offset : offsets) offset = rng.next_double(0.0, runtime_seconds);
+  std::sort(offsets.begin(), offsets.end());
+  return offsets;
+}
+
+double SpotModel::sampled_runtime_seconds(double runtime_seconds,
+                                          util::Rng& rng) const {
+  const auto events = sample_interruptions(runtime_seconds, rng);
+  return runtime_seconds *
+         (1.0 + static_cast<double>(events.size()) * restart_overhead_fraction);
+}
+
+double SpotModel::sample_time_to_interruption(util::Rng& rng) const {
+  if (interruptions_per_hour <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double rate_per_second = interruptions_per_hour / 3600.0;
+  return -std::log(1.0 - rng.next_double()) / rate_per_second;
 }
 
 double PricingCatalog::hourly_usd(perf::InstanceFamily family,

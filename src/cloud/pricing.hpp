@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "perf/vm.hpp"
+#include "util/rng.hpp"
 
 namespace edacloud::cloud {
 
@@ -33,6 +34,24 @@ struct SpotModel {
     return runtime_seconds *
            (1.0 + expected_interruptions * restart_overhead_fraction);
   }
+
+  /// Sorted reclaim-event offsets within a `runtime_seconds` window: a
+  /// Poisson count at `interruptions_per_hour`, placed uniformly. The
+  /// discrete-event simulator replays these instead of the expected-value
+  /// formula above.
+  [[nodiscard]] std::vector<double> sample_interruptions(
+      double runtime_seconds, util::Rng& rng) const;
+
+  /// One sampled execution: each reclaim in the window costs
+  /// `restart_overhead_fraction` of the nominal runtime, so the sample mean
+  /// over many replays converges to expected_runtime_seconds().
+  [[nodiscard]] double sampled_runtime_seconds(double runtime_seconds,
+                                               util::Rng& rng) const;
+
+  /// Exponential time (seconds) until the next reclaim — the memoryless
+  /// per-attempt draw the simulator uses when a spot VM starts a task.
+  /// Returns +infinity when the interruption rate is zero.
+  [[nodiscard]] double sample_time_to_interruption(util::Rng& rng) const;
 };
 
 class PricingCatalog {

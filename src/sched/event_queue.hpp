@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic discrete-event core for the fleet simulator: a min-heap
+// over (sim-time, insertion sequence), so simultaneous events always fire
+// in the order they were scheduled — identical on every platform and run.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace edacloud::sched {
+
+enum class EventType : std::uint8_t {
+  kJobArrival,       // LoadGenerator delivers a new flow job
+  kVmBootComplete,   // a launched VM becomes schedulable
+  kTaskComplete,     // the stage running on vm_id finishes
+  kSpotInterruption, // the spot VM vm_id is reclaimed mid-run
+  kAutoscalerTick,   // periodic fleet-sizing decision
+};
+
+struct Event {
+  double time = 0.0;
+  std::uint64_t seq = 0;  // assigned by the queue; breaks time ties FIFO
+  EventType type = EventType::kJobArrival;
+  std::uint64_t job_id = 0;
+  int vm_id = -1;
+};
+
+class EventQueue {
+ public:
+  void push(double time, EventType type, std::uint64_t job_id = 0,
+            int vm_id = -1) {
+    heap_.push(Event{time, next_seq_++, type, job_id, vm_id});
+  }
+
+  Event pop() {
+    Event event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+  [[nodiscard]] const Event& peek() const { return heap_.top(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace edacloud::sched

@@ -1,0 +1,148 @@
+#include "sched/fleet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edacloud::sched {
+
+std::string to_string(const PoolKey& key) {
+  return std::string(perf::to_string(key.family)) + "-" +
+         std::to_string(key.vcpus) + "vcpu";
+}
+
+int Fleet::launch(const PoolKey& pool, double now, util::Rng& rng, bool warm) {
+  VmInstance vm;
+  vm.id = static_cast<int>(vms_.size());
+  vm.pool = pool;
+  vm.config = perf::make_vm(pool.family, pool.vcpus);
+  vm.spot = config_.spot_fraction > 0.0 && rng.next_bool(config_.spot_fraction);
+  vm.launch_time = now;
+  vm.ready_time = warm ? now : now + config_.boot_seconds;
+  vm.state = warm ? VmInstance::State::kIdle : VmInstance::State::kBooting;
+  vms_.push_back(vm);
+  by_pool_[pool].push_back(vm.id);
+  return vm.id;
+}
+
+void Fleet::mark_ready(int id) {
+  VmInstance& vm = vms_[id];
+  if (vm.state == VmInstance::State::kBooting) {
+    vm.state = VmInstance::State::kIdle;
+  }
+}
+
+void Fleet::assign(int id, std::uint64_t job, double now,
+                   double service_seconds) {
+  VmInstance& vm = vms_[id];
+  if (vm.state != VmInstance::State::kIdle) {
+    throw std::logic_error("assign: VM is not idle");
+  }
+  vm.state = VmInstance::State::kBusy;
+  vm.running_job = job;
+  vm.run_start = now;
+  vm.run_service = service_seconds;
+}
+
+void Fleet::release(int id, double now) {
+  VmInstance& vm = vms_[id];
+  if (vm.state != VmInstance::State::kBusy) {
+    throw std::logic_error("release: VM is not busy");
+  }
+  vm.busy_seconds += now - vm.run_start;
+  vm.state = VmInstance::State::kIdle;
+  vm.running_job = kNoJob;
+  vm.run_service = 0.0;
+}
+
+void Fleet::retire(int id, double now) {
+  VmInstance& vm = vms_[id];
+  if (vm.state == VmInstance::State::kRetired) return;
+  if (vm.state == VmInstance::State::kBusy) {
+    vm.busy_seconds += now - vm.run_start;
+    vm.running_job = kNoJob;
+  }
+  vm.state = VmInstance::State::kRetired;
+  vm.retire_time = now;
+}
+
+std::vector<PoolKey> Fleet::pools() const {
+  std::vector<PoolKey> keys;
+  keys.reserve(by_pool_.size());
+  for (const auto& [key, ids] : by_pool_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<int> Fleet::idle_in(const PoolKey& pool) const {
+  std::vector<int> idle;
+  const auto it = by_pool_.find(pool);
+  if (it == by_pool_.end()) return idle;
+  for (const int id : it->second) {
+    if (vms_[id].state == VmInstance::State::kIdle) idle.push_back(id);
+  }
+  return idle;
+}
+
+int Fleet::alive_count(const PoolKey& pool) const {
+  int count = 0;
+  const auto it = by_pool_.find(pool);
+  if (it == by_pool_.end()) return 0;
+  for (const int id : it->second) {
+    if (vms_[id].state != VmInstance::State::kRetired) ++count;
+  }
+  return count;
+}
+
+int Fleet::busy_count(const PoolKey& pool) const {
+  int count = 0;
+  const auto it = by_pool_.find(pool);
+  if (it == by_pool_.end()) return 0;
+  for (const int id : it->second) {
+    if (vms_[id].state == VmInstance::State::kBusy) ++count;
+  }
+  return count;
+}
+
+int Fleet::idle_count(const PoolKey& pool) const {
+  return static_cast<int>(idle_in(pool).size());
+}
+
+int Fleet::total_alive() const {
+  int count = 0;
+  for (const auto& vm : vms_) {
+    if (vm.state != VmInstance::State::kRetired) ++count;
+  }
+  return count;
+}
+
+double Fleet::hourly_rate_usd(const VmInstance& vm) const {
+  double rate = config_.catalog.hourly_usd(vm.pool.family, vm.pool.vcpus);
+  if (vm.spot) rate *= config_.spot.price_multiplier;
+  return rate;
+}
+
+double Fleet::total_cost_usd(double now) const {
+  double total = 0.0;
+  for (const auto& vm : vms_) {
+    const double end = vm.retire_time >= 0.0 ? vm.retire_time : now;
+    const double billed = std::ceil(std::max(0.0, end - vm.launch_time));
+    total += hourly_rate_usd(vm) * billed / 3600.0;
+  }
+  return total;
+}
+
+double Fleet::busy_seconds_total() const {
+  double total = 0.0;
+  for (const auto& vm : vms_) total += vm.busy_seconds;
+  return total;
+}
+
+double Fleet::alive_seconds_total(double now) const {
+  double total = 0.0;
+  for (const auto& vm : vms_) {
+    const double end = vm.retire_time >= 0.0 ? vm.retire_time : now;
+    total += std::max(0.0, end - vm.launch_time);
+  }
+  return total;
+}
+
+}  // namespace edacloud::sched

@@ -1,0 +1,100 @@
+#pragma once
+// The simulated VM fleet: pools of identical (family, vCPU) instances with
+// boot latency, per-second billing through cloud::PricingCatalog, and an
+// optional spot tier (discounted rate, reclaimable mid-run). The fleet only
+// tracks machine state and money; *what* runs *where* is the policy's job.
+
+#include <compare>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/pricing.hpp"
+#include "perf/vm.hpp"
+#include "sched/job.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::sched {
+
+struct PoolKey {
+  perf::InstanceFamily family = perf::InstanceFamily::kGeneralPurpose;
+  int vcpus = 1;
+  auto operator<=>(const PoolKey&) const = default;
+};
+
+std::string to_string(const PoolKey& key);
+
+struct VmInstance {
+  enum class State : std::uint8_t { kBooting, kIdle, kBusy, kRetired };
+
+  int id = -1;
+  PoolKey pool;
+  perf::VmConfig config;
+  bool spot = false;
+  State state = State::kBooting;
+  double launch_time = 0.0;
+  double ready_time = 0.0;
+  double retire_time = -1.0;   // < 0 while alive
+  double busy_seconds = 0.0;   // accumulated service time
+  std::uint64_t running_job = kNoJob;
+  double run_start = 0.0;
+  double run_service = 0.0;    // scheduled service time of the current run
+};
+
+struct FleetConfig {
+  double boot_seconds = 45.0;
+  double spot_fraction = 0.0;  // probability a launched VM is a spot instance
+  cloud::SpotModel spot;
+  cloud::PricingCatalog catalog = cloud::PricingCatalog::aws_like();
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetConfig config) : config_(config) {}
+
+  /// Launch a VM into `pool` at `now`. `warm` skips the boot delay (used to
+  /// seed a pre-provisioned fleet at t = 0). Spot assignment is drawn from
+  /// `rng` at `spot_fraction`. Returns the new VM id.
+  int launch(const PoolKey& pool, double now, util::Rng& rng,
+             bool warm = false);
+
+  void mark_ready(int id);
+  void assign(int id, std::uint64_t job, double now, double service_seconds);
+  /// Finish the current run and return the VM to the idle pool.
+  void release(int id, double now);
+  /// Retire the VM (scale-down or spot reclaim). Busy VMs are allowed —
+  /// the in-flight run's elapsed time is credited as busy time.
+  void retire(int id, double now);
+
+  [[nodiscard]] VmInstance& vm(int id) { return vms_[id]; }
+  [[nodiscard]] const VmInstance& vm(int id) const { return vms_[id]; }
+  [[nodiscard]] const std::vector<VmInstance>& instances() const {
+    return vms_;
+  }
+
+  /// Pools that ever existed, in deterministic (family, vcpus) order.
+  [[nodiscard]] std::vector<PoolKey> pools() const;
+  /// Idle VM ids in `pool`, ascending (the dispatch order).
+  [[nodiscard]] std::vector<int> idle_in(const PoolKey& pool) const;
+  [[nodiscard]] int alive_count(const PoolKey& pool) const;
+  [[nodiscard]] int busy_count(const PoolKey& pool) const;
+  [[nodiscard]] int idle_count(const PoolKey& pool) const;
+  [[nodiscard]] int total_alive() const;
+
+  /// Hourly rate of one VM, spot discount included.
+  [[nodiscard]] double hourly_rate_usd(const VmInstance& vm) const;
+  /// Fleet bill at `now`: every VM pays per second (whole seconds, boot and
+  /// idle time included) from launch until retirement or `now`.
+  [[nodiscard]] double total_cost_usd(double now) const;
+  [[nodiscard]] double busy_seconds_total() const;
+  [[nodiscard]] double alive_seconds_total(double now) const;
+
+  [[nodiscard]] const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+  std::vector<VmInstance> vms_;
+  std::map<PoolKey, std::vector<int>> by_pool_;
+};
+
+}  // namespace edacloud::sched

@@ -1,0 +1,133 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edacloud::sched {
+
+namespace {
+
+int vcpu_index(int vcpus) {
+  for (std::size_t i = 0; i < perf::kVcpuOptions.size(); ++i) {
+    if (perf::kVcpuOptions[i] == vcpus) return static_cast<int>(i);
+  }
+  throw std::invalid_argument("vcpus must be one of the ladder sizes");
+}
+
+}  // namespace
+
+double JobTemplate::runtime(core::JobKind job, perf::InstanceFamily family,
+                            int vcpus) const {
+  const auto& per_family = runtime_seconds[static_cast<int>(job)];
+  const auto& ladder = per_family[static_cast<int>(family)];
+  const int index = vcpu_index(vcpus);
+  if (ladder[index] > 0.0) return ladder[index];
+  // Unmeasured family: fall back to general purpose.
+  return per_family[static_cast<int>(perf::InstanceFamily::kGeneralPurpose)]
+                   [index];
+}
+
+double JobTemplate::best_total_runtime_seconds() const {
+  double total = 0.0;
+  for (const auto& per_family : runtime_seconds) {
+    double best = 0.0;
+    for (const auto& ladder : per_family) {
+      for (const double runtime : ladder) {
+        if (runtime > 0.0 && (best == 0.0 || runtime < best)) best = runtime;
+      }
+    }
+    total += best;
+  }
+  return total;
+}
+
+core::RuntimeLadders JobTemplate::recommended_ladders() const {
+  core::RuntimeLadders ladders{};
+  for (core::JobKind job : core::kAllJobs) {
+    const auto family = core::recommended_family(job);
+    for (std::size_t i = 0; i < perf::kVcpuOptions.size(); ++i) {
+      ladders[static_cast<int>(job)][i] =
+          runtime(job, family, perf::kVcpuOptions[i]);
+    }
+  }
+  return ladders;
+}
+
+JobTemplate JobTemplate::from_report(std::string name,
+                                     const core::CharacterizationReport& report,
+                                     double weight) {
+  JobTemplate tmpl;
+  tmpl.name = std::move(name);
+  tmpl.weight = weight;
+  for (core::JobKind job : core::kAllJobs) {
+    for (const auto family : {perf::InstanceFamily::kGeneralPurpose,
+                              perf::InstanceFamily::kMemoryOptimized}) {
+      const auto* row = report.find(job, family);
+      if (row == nullptr) continue;
+      tmpl.runtime_seconds[static_cast<int>(job)][static_cast<int>(family)] =
+          row->runtime_seconds;
+    }
+  }
+  return tmpl;
+}
+
+std::vector<JobTemplate> templates_from_designs(
+    const std::vector<workloads::NamedDesign>& designs,
+    const nl::CellLibrary& library) {
+  core::Characterizer characterizer(library);
+  std::vector<JobTemplate> templates;
+  templates.reserve(designs.size());
+  for (const auto& design : designs) {
+    const nl::Aig aig = workloads::generate(design.spec);
+    templates.push_back(
+        JobTemplate::from_report(design.name, characterizer.characterize(aig)));
+  }
+  return templates;
+}
+
+const std::vector<JobTemplate>& builtin_templates() {
+  // Ladders captured from Characterizer runs on dynamic_node-4 (small),
+  // alu-32 (medium) and sparc_core-16 (large) with default calibration;
+  // family index 0 = general purpose, 1 = memory optimized (2 falls back).
+  static const std::vector<JobTemplate> kTemplates = [] {
+    std::vector<JobTemplate> templates(3);
+
+    JobTemplate& small = templates[0];
+    small.name = "small";
+    small.runtime_seconds[0][0] = {128.9, 90.7, 73.2, 62.1};
+    small.runtime_seconds[0][1] = {128.9, 90.7, 73.2, 62.1};
+    small.runtime_seconds[1][0] = {11.0, 8.6, 7.4, 7.4};
+    small.runtime_seconds[1][1] = {11.0, 8.6, 7.4, 7.4};
+    small.runtime_seconds[2][0] = {3.1, 1.6, 0.9, 0.9};
+    small.runtime_seconds[2][1] = {3.1, 1.6, 0.9, 0.9};
+    small.runtime_seconds[3][0] = {5.5, 3.7, 2.6, 2.3};
+    small.runtime_seconds[3][1] = {5.5, 3.7, 2.6, 2.3};
+
+    JobTemplate& medium = templates[1];
+    medium.name = "medium";
+    medium.runtime_seconds[0][0] = {280.9, 241.9, 219.7, 208.6};
+    medium.runtime_seconds[0][1] = {280.9, 241.9, 219.7, 208.6};
+    medium.runtime_seconds[1][0] = {29.9, 23.1, 19.9, 18.3};
+    medium.runtime_seconds[1][1] = {29.6, 23.1, 19.9, 18.3};
+    medium.runtime_seconds[2][0] = {20.5, 12.2, 9.8, 9.6};
+    medium.runtime_seconds[2][1] = {19.2, 12.0, 9.8, 9.5};
+    medium.runtime_seconds[3][0] = {9.8, 7.7, 7.0, 6.4};
+    medium.runtime_seconds[3][1] = {9.8, 7.7, 7.0, 6.4};
+
+    JobTemplate& large = templates[2];
+    large.name = "large";
+    large.runtime_seconds[0][0] = {1538.0, 1064.8, 891.9, 808.9};
+    large.runtime_seconds[0][1] = {1537.9, 1064.8, 891.9, 808.9};
+    large.runtime_seconds[1][0] = {234.5, 100.1, 81.4, 75.7};
+    large.runtime_seconds[1][1] = {119.8, 93.0, 81.4, 75.6};
+    large.runtime_seconds[2][0] = {105.4, 49.1, 25.6, 19.9};
+    large.runtime_seconds[2][1] = {90.1, 43.3, 23.7, 19.1};
+    large.runtime_seconds[3][0] = {27.6, 19.9, 16.4, 15.0};
+    large.runtime_seconds[3][1] = {27.6, 19.9, 16.4, 15.0};
+
+    return templates;
+  }();
+  return kTemplates;
+}
+
+}  // namespace edacloud::sched

@@ -1,0 +1,75 @@
+#pragma once
+// Job model for the fleet simulator. A job is one complete EDA flow
+// (synthesis -> placement -> routing -> STA) drawn from a JobTemplate,
+// which carries the per-stage runtime ladders the characterizer measured
+// on both instance families — the same perf::runtime_model numbers the
+// static optimizer consumes, now feeding a dynamic scheduling problem.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/characterize.hpp"
+#include "core/optimizer.hpp"
+#include "nl/cell_library.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::sched {
+
+/// Per-stage, per-(family, vCPU) runtimes of one flow class. Families the
+/// characterizer does not measure fall back to the general-purpose ladder.
+struct JobTemplate {
+  std::string name;
+  double weight = 1.0;  // relative draw probability in a traffic mix
+  /// runtime_seconds[stage][family][i], i indexing perf::kVcpuOptions.
+  std::array<std::array<std::array<double, 4>, 3>, core::kJobCount>
+      runtime_seconds{};
+
+  [[nodiscard]] double runtime(core::JobKind job, perf::InstanceFamily family,
+                               int vcpus) const;
+
+  /// Sum over stages of the fastest available configuration — the best-case
+  /// service time, used as the SLO reference ("slowdown" denominator).
+  [[nodiscard]] double best_total_runtime_seconds() const;
+
+  /// Runtime ladders on each job's recommended family, the
+  /// core::DeploymentOptimizer input format.
+  [[nodiscard]] core::RuntimeLadders recommended_ladders() const;
+
+  static JobTemplate from_report(std::string name,
+                                 const core::CharacterizationReport& report,
+                                 double weight = 1.0);
+};
+
+/// Characterize `designs` (one instrumented flow run each) and convert the
+/// reports into templates. ~1 s for three small registry designs.
+std::vector<JobTemplate> templates_from_designs(
+    const std::vector<workloads::NamedDesign>& designs,
+    const nl::CellLibrary& library);
+
+/// Three flow classes — small / medium / large — whose ladders were captured
+/// from characterizing dynamic_node-4, alu-32 and sparc_core-16 with the
+/// default calibration. Deterministic and free of engine runs, so tests and
+/// quick simulations need no synthesis/placement/routing work.
+const std::vector<JobTemplate>& builtin_templates();
+
+constexpr std::uint64_t kNoJob = ~std::uint64_t{0};
+
+struct Job {
+  std::uint64_t id = 0;
+  int template_index = 0;
+  double scale = 1.0;           // per-job runtime multiplier (size jitter)
+  double arrival_time = 0.0;
+  double slo_deadline = 0.0;    // absolute sim time the SLO allows
+  int stage = 0;                // current flow stage in [0, kJobCount]
+  double stage_progress = 0.0;  // completed fraction of the current stage
+  int preemptions = 0;          // spot reclaims suffered across all stages
+  double cost_usd = 0.0;        // billing attributed from its own stage runs
+  double first_dispatch_time = -1.0;
+  double completion_time = -1.0;
+
+  [[nodiscard]] bool done() const { return stage >= core::kJobCount; }
+};
+
+}  // namespace edacloud::sched

@@ -1,0 +1,107 @@
+#include "sched/load_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edacloud::sched {
+
+TrafficMix uniform_mix() {
+  TrafficMix mix;
+  mix.name = "uniform";
+  mix.weights = {1.0, 1.0, 1.0};
+  return mix;
+}
+
+TrafficMix skewed_mix() {
+  TrafficMix mix;
+  mix.name = "skewed";
+  mix.weights = {0.80, 0.15, 0.05};
+  return mix;
+}
+
+TrafficMix bursty_mix() {
+  TrafficMix mix;
+  mix.name = "bursty";
+  mix.weights = {1.0, 1.0, 1.0};
+  mix.burst_factor = 4.0;
+  mix.burst_period_seconds = 1800.0;
+  mix.burst_duty = 0.25;
+  return mix;
+}
+
+TrafficMix mix_by_name(const std::string& name) {
+  if (name == "uniform") return uniform_mix();
+  if (name == "skewed") return skewed_mix();
+  if (name == "bursty") return bursty_mix();
+  throw std::invalid_argument("unknown traffic mix '" + name + "'");
+}
+
+LoadGenerator::LoadGenerator(LoadConfig config,
+                             const std::vector<JobTemplate>* templates,
+                             std::uint64_t seed)
+    : config_(std::move(config)), templates_(templates), rng_(seed) {
+  if (templates_ == nullptr || templates_->empty()) {
+    throw std::invalid_argument("LoadGenerator needs at least one template");
+  }
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < templates_->size(); ++i) {
+    double weight = (*templates_)[i].weight;
+    if (i < config_.mix.weights.size()) weight = config_.mix.weights[i];
+    cumulative += std::max(0.0, weight);
+    cumulative_weights_.push_back(cumulative);
+  }
+  if (cumulative <= 0.0) {
+    throw std::invalid_argument("traffic mix weights sum to zero");
+  }
+}
+
+double LoadGenerator::rate_at(double t) const {
+  const double base = config_.arrival_rate_per_hour / 3600.0;
+  const TrafficMix& mix = config_.mix;
+  if (mix.burst_period_seconds <= 0.0 || mix.burst_factor == 1.0) return base;
+  const double phase = std::fmod(t, mix.burst_period_seconds);
+  const bool bursting = phase < mix.burst_duty * mix.burst_period_seconds;
+  return bursting ? base * mix.burst_factor : base;
+}
+
+double LoadGenerator::next_arrival_after(double now) {
+  // Thinning (Lewis & Shedler): draw candidates at the peak rate and accept
+  // with probability rate(t)/peak — exact for any bounded rate function.
+  const double base = config_.arrival_rate_per_hour / 3600.0;
+  const double peak = base * std::max(1.0, config_.mix.burst_factor);
+  if (peak <= 0.0) throw std::invalid_argument("arrival rate must be > 0");
+  double t = now;
+  while (true) {
+    t += -std::log(1.0 - rng_.next_double()) / peak;
+    if (rng_.next_double() * peak <= rate_at(t)) return t;
+  }
+}
+
+Job LoadGenerator::make_job(std::uint64_t id, double time) {
+  Job job;
+  job.id = id;
+  job.arrival_time = time;
+
+  const double draw = rng_.next_double() * cumulative_weights_.back();
+  job.template_index = 0;
+  for (std::size_t i = 0; i < cumulative_weights_.size(); ++i) {
+    if (draw < cumulative_weights_[i]) {
+      job.template_index = static_cast<int>(i);
+      break;
+    }
+  }
+
+  // Lognormal size jitter with mean exactly 1 (E[exp(sg - s^2/2)] = 1).
+  const double sigma = config_.scale_sigma;
+  job.scale =
+      sigma > 0.0
+          ? std::exp(sigma * rng_.next_gaussian() - 0.5 * sigma * sigma)
+          : 1.0;
+
+  const JobTemplate& tmpl = (*templates_)[job.template_index];
+  job.slo_deadline = time + config_.slo_multiplier * job.scale *
+                                tmpl.best_total_runtime_seconds();
+  return job;
+}
+
+}  // namespace edacloud::sched

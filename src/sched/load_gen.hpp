@@ -1,0 +1,69 @@
+#pragma once
+// Open-loop load generation, in the style of the mutated load-testing
+// client: arrivals form a Poisson process whose rate does not react to
+// completions (so queueing delay is measured honestly, not throttled away),
+// optionally modulated into bursts by a square-wave rate multiplier.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::sched {
+
+/// A named arrival pattern: per-template draw weights plus an optional
+/// square-wave burst modulation of the arrival rate.
+struct TrafficMix {
+  std::string name = "uniform";
+  std::vector<double> weights;        // per template; empty = template weights
+  double burst_factor = 1.0;          // rate multiplier inside a burst
+  double burst_period_seconds = 0.0;  // 0 = stationary Poisson
+  double burst_duty = 0.25;           // fraction of each period bursting
+};
+
+/// Equal draw weights — the balanced design-space-exploration workload.
+TrafficMix uniform_mix();
+/// 80/15/5 small/medium/large — an interactive, small-job-heavy queue.
+TrafficMix skewed_mix();
+/// Uniform weights with 4x rate bursts 25% of the time — tapeout crunch.
+TrafficMix bursty_mix();
+/// Lookup by name ("uniform" | "skewed" | "bursty"); throws on unknown.
+TrafficMix mix_by_name(const std::string& name);
+
+struct LoadConfig {
+  double arrival_rate_per_hour = 60.0;
+  /// Per-job SLO: deadline = multiplier x the job's best-case service time.
+  double slo_multiplier = 4.0;
+  /// Lognormal sigma of the per-job runtime scale (mean kept at 1).
+  double scale_sigma = 0.25;
+  TrafficMix mix;
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(LoadConfig config, const std::vector<JobTemplate>* templates,
+                std::uint64_t seed);
+
+  /// The next Poisson arrival strictly after `now` (piecewise-constant
+  /// thinning when the mix bursts).
+  [[nodiscard]] double next_arrival_after(double now);
+
+  /// Materialize the job arriving at `time`: template draw, size jitter,
+  /// SLO deadline.
+  [[nodiscard]] Job make_job(std::uint64_t id, double time);
+
+  /// Instantaneous arrival rate (jobs/second) at sim time `t`.
+  [[nodiscard]] double rate_at(double t) const;
+
+  [[nodiscard]] const LoadConfig& config() const { return config_; }
+
+ private:
+  LoadConfig config_;
+  const std::vector<JobTemplate>* templates_;
+  util::Rng rng_;
+  std::vector<double> cumulative_weights_;
+};
+
+}  // namespace edacloud::sched

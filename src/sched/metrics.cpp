@@ -1,0 +1,126 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace edacloud::sched {
+
+namespace {
+
+/// Binned quantile over `values` with linear interpolation (256 bins across
+/// the observed range).
+struct Quantiles {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+Quantiles binned_quantiles(const std::vector<double>& values) {
+  Quantiles q;
+  if (values.empty()) return q;
+  const double hi = *std::max_element(values.begin(), values.end());
+  util::Histogram histogram(0.0, hi > 0.0 ? hi : 1.0, 256);
+  histogram.add_all(values);
+  q.p50 = histogram.quantile(0.50);
+  q.p95 = histogram.quantile(0.95);
+  q.p99 = histogram.quantile(0.99);
+  return q;
+}
+
+}  // namespace
+
+void MetricsCollector::record_dispatch(double queue_wait_seconds) {
+  ++dispatched_;
+  queue_wait_sum_ += queue_wait_seconds;
+}
+
+void MetricsCollector::record_completion(const Job& job,
+                                         double best_case_service_seconds) {
+  ++completed_;
+  const double latency = job.completion_time - job.arrival_time;
+  latencies_.push_back(latency);
+  if (best_case_service_seconds > 0.0) {
+    slowdowns_.push_back(latency / best_case_service_seconds);
+  }
+  if (job.completion_time > job.slo_deadline) ++slo_violations_;
+}
+
+FleetMetrics MetricsCollector::finalize(double arrival_window_seconds,
+                                        double drained_at_seconds,
+                                        const FleetStats& fleet) const {
+  FleetMetrics m;
+  m.jobs_submitted = submitted_;
+  m.jobs_completed = completed_;
+  m.tasks_dispatched = dispatched_;
+  m.preemptions = preemptions_;
+  m.arrival_window_seconds = arrival_window_seconds;
+  m.drained_at_seconds = drained_at_seconds;
+
+  const auto latency = binned_quantiles(latencies_);
+  m.latency_p50 = latency.p50;
+  m.latency_p95 = latency.p95;
+  m.latency_p99 = latency.p99;
+  m.slowdown_p99 = binned_quantiles(slowdowns_).p99;
+  if (!latencies_.empty()) {
+    double sum = 0.0;
+    for (const double v : latencies_) sum += v;
+    m.mean_latency = sum / static_cast<double>(latencies_.size());
+  }
+  if (dispatched_ > 0) {
+    m.mean_queue_wait = queue_wait_sum_ / static_cast<double>(dispatched_);
+  }
+
+  m.slo_violations = slo_violations_;
+  if (completed_ > 0) {
+    m.slo_violation_rate =
+        static_cast<double>(slo_violations_) / static_cast<double>(completed_);
+  }
+
+  if (fleet.alive_seconds > 0.0) {
+    m.utilization = fleet.busy_seconds / fleet.alive_seconds;
+  }
+  m.total_cost_usd = fleet.total_cost_usd;
+  if (completed_ > 0) {
+    m.cost_per_job_usd =
+        fleet.total_cost_usd / static_cast<double>(completed_);
+  }
+  m.peak_vms = fleet.peak_vms;
+  m.vms_launched = fleet.vms_launched;
+  if (drained_at_seconds > 0.0) {
+    m.throughput_per_hour =
+        static_cast<double>(completed_) * 3600.0 / drained_at_seconds;
+  }
+  return m;
+}
+
+std::string FleetMetrics::render() const {
+  util::Table table({"Metric", "Value"});
+  table.add_row({"jobs submitted",
+                 util::format_count(static_cast<long long>(jobs_submitted))});
+  table.add_row({"jobs completed",
+                 util::format_count(static_cast<long long>(jobs_completed))});
+  table.add_row({"tasks dispatched",
+                 util::format_count(static_cast<long long>(tasks_dispatched))});
+  table.add_row({"spot preemptions",
+                 util::format_count(static_cast<long long>(preemptions))});
+  table.add_row({"latency p50", util::format_duration(latency_p50)});
+  table.add_row({"latency p95", util::format_duration(latency_p95)});
+  table.add_row({"latency p99", util::format_duration(latency_p99)});
+  table.add_row({"mean latency", util::format_duration(mean_latency)});
+  table.add_row({"mean queue wait", util::format_duration(mean_queue_wait)});
+  table.add_row({"slowdown p99", util::format_fixed(slowdown_p99, 2) + "x"});
+  table.add_row({"SLO violation rate",
+                 util::format_percent(slo_violation_rate, 1)});
+  table.add_row({"fleet utilization", util::format_percent(utilization, 1)});
+  table.add_row({"fleet cost", "$" + util::format_fixed(total_cost_usd, 2)});
+  table.add_row({"cost per job",
+                 "$" + util::format_fixed(cost_per_job_usd, 4)});
+  table.add_row({"peak VMs", std::to_string(peak_vms)});
+  table.add_row({"VMs launched", std::to_string(vms_launched)});
+  table.add_row({"throughput/h", util::format_fixed(throughput_per_hour, 1)});
+  table.add_row({"drained at", util::format_duration(drained_at_seconds)});
+  return table.render();
+}
+
+}  // namespace edacloud::sched

@@ -1,0 +1,87 @@
+#pragma once
+// SLO / cost / utilization metrics for one simulated run. Latency and
+// slowdown quantiles come from util::Histogram::quantile so a million-job
+// run needs bounded memory for the tail statistics; everything is a pure
+// function of the (seeded) event stream, so two runs with the same
+// configuration produce bit-identical metrics.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace edacloud::sched {
+
+struct FleetMetrics {
+  // Population.
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t tasks_dispatched = 0;
+  std::uint64_t preemptions = 0;
+  double arrival_window_seconds = 0.0;  // configured load duration
+  double drained_at_seconds = 0.0;      // sim time the last event fired
+
+  // Latency (arrival -> flow completion, seconds).
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double mean_latency = 0.0;
+  double mean_queue_wait = 0.0;  // per stage task
+  // Slowdown = latency / the job's best-case service time; p99 <= the SLO
+  // multiplier means the p99 job finished within its SLO.
+  double slowdown_p99 = 0.0;
+
+  // SLO.
+  std::uint64_t slo_violations = 0;
+  double slo_violation_rate = 0.0;
+
+  // Fleet.
+  double utilization = 0.0;    // busy seconds / alive seconds
+  double total_cost_usd = 0.0; // per-second billing, boot + idle included
+  double cost_per_job_usd = 0.0;
+  int peak_vms = 0;
+  int vms_launched = 0;
+  double throughput_per_hour = 0.0;
+
+  /// Two-column summary table for the CLI.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Accumulates per-job and per-task samples during a run, then finalizes
+/// the fleet-level numbers.
+class MetricsCollector {
+ public:
+  void record_submitted() { ++submitted_; }
+  void record_dispatch(double queue_wait_seconds);
+  void record_preemption() { ++preemptions_; }
+  /// `best_case_service_seconds` is the job's scaled best-case service time
+  /// (the slowdown denominator).
+  void record_completion(const Job& job, double best_case_service_seconds);
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+
+  struct FleetStats {
+    double busy_seconds = 0.0;
+    double alive_seconds = 0.0;
+    double total_cost_usd = 0.0;
+    int peak_vms = 0;
+    int vms_launched = 0;
+  };
+  [[nodiscard]] FleetMetrics finalize(double arrival_window_seconds,
+                                      double drained_at_seconds,
+                                      const FleetStats& fleet) const;
+
+ private:
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t slo_violations_ = 0;
+  double queue_wait_sum_ = 0.0;
+  std::vector<double> latencies_;
+  std::vector<double> slowdowns_;
+};
+
+}  // namespace edacloud::sched

@@ -1,0 +1,94 @@
+#include "sched/policy.hpp"
+
+#include <stdexcept>
+
+#include "cloud/heuristics.hpp"
+
+namespace edacloud::sched {
+
+std::array<PoolKey, core::kJobCount> FifoAnyPolicy::plan(
+    const Job& job, const JobTemplate& tmpl) {
+  (void)job;
+  (void)tmpl;
+  std::array<PoolKey, core::kJobCount> pools;
+  pools.fill(default_pool_);
+  return pools;
+}
+
+std::size_t FifoAnyPolicy::pick(const std::vector<TaskRef>& queue,
+                                const PoolKey& pool) const {
+  (void)pool;  // any VM takes the head of the global queue
+  return queue.empty() ? kNoTask : 0;
+}
+
+std::array<PoolKey, core::kJobCount> CostAwarePolicy::plan(
+    const Job& job, const JobTemplate& tmpl) {
+  // Scale the template's recommended-family ladders by the job's size
+  // jitter, then ask the MCKP for the cheapest per-stage configuration that
+  // fits inside the service share of the SLO budget (the rest is reserved
+  // for queueing and boot).
+  core::RuntimeLadders ladders = tmpl.recommended_ladders();
+  for (auto& ladder : ladders) {
+    for (double& runtime : ladder) runtime *= job.scale;
+  }
+  const double slo_budget = job.slo_deadline - job.arrival_time;
+  const double service_budget = headroom_ * slo_budget;
+
+  const auto stages = optimizer_.build_stages(ladders);
+  const auto selection = cloud::solve_mckp_greedy(stages, service_budget);
+
+  std::array<PoolKey, core::kJobCount> pools;
+  for (core::JobKind job_kind : core::kAllJobs) {
+    const int stage = static_cast<int>(job_kind);
+    // Infeasible budget: run every stage at full width (the fastest item).
+    const int choice = selection.feasible
+                           ? selection.choice[stage]
+                           : static_cast<int>(perf::kVcpuOptions.size()) - 1;
+    pools[stage] = PoolKey{core::recommended_family(job_kind),
+                           perf::kVcpuOptions[choice]};
+  }
+  return pools;
+}
+
+std::size_t CostAwarePolicy::pick(const std::vector<TaskRef>& queue,
+                                  const PoolKey& pool) const {
+  // Oldest waiting task routed to this pool; strict matching, no stealing.
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].preferred == pool) return i;
+  }
+  return kNoTask;
+}
+
+std::size_t EdfBackfillPolicy::pick(const std::vector<TaskRef>& queue,
+                                    const PoolKey& pool) const {
+  std::size_t best_matching = kNoTask;
+  std::size_t best_any = kNoTask;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const TaskRef& task = queue[i];
+    const bool earlier_any =
+        best_any == kNoTask || task.deadline < queue[best_any].deadline ||
+        (task.deadline == queue[best_any].deadline &&
+         task.seq < queue[best_any].seq);
+    if (earlier_any) best_any = i;
+    if (task.preferred != pool) continue;
+    const bool earlier_matching =
+        best_matching == kNoTask ||
+        task.deadline < queue[best_matching].deadline ||
+        (task.deadline == queue[best_matching].deadline &&
+         task.seq < queue[best_matching].seq);
+    if (earlier_matching) best_matching = i;
+  }
+  // Matching work drains EDF; otherwise backfill the most urgent task from
+  // any pool so the machine never idles while jobs wait.
+  return best_matching != kNoTask ? best_matching : best_any;
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name) {
+  if (name == "fifo") return std::make_unique<FifoAnyPolicy>();
+  if (name == "cost") return std::make_unique<CostAwarePolicy>();
+  if (name == "edf") return std::make_unique<EdfBackfillPolicy>();
+  throw std::invalid_argument("unknown policy '" + name +
+                              "' (expected fifo | cost | edf)");
+}
+
+}  // namespace edacloud::sched

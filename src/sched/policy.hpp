@@ -1,0 +1,107 @@
+#pragma once
+// Pluggable scheduling policies. A policy makes two decisions:
+//   plan() — at admission, pick the target (family, vCPU) pool for every
+//            stage of the job;
+//   pick() — when a VM in some pool goes idle, choose which waiting stage
+//            task it should run next (or none).
+// Running tasks are never preempted by a policy (spot reclaims are the
+// fleet's doing, not the scheduler's).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "sched/fleet.hpp"
+#include "sched/job.hpp"
+
+namespace edacloud::sched {
+
+/// A stage task waiting in the scheduler queue.
+struct TaskRef {
+  std::uint64_t job_id = 0;
+  int stage = 0;
+  double enqueue_time = 0.0;
+  double deadline = 0.0;  // absolute SLO deadline of the owning job
+  PoolKey preferred;      // the pool plan() routed this stage to
+  std::uint64_t seq = 0;  // global enqueue order; the deterministic tie-break
+};
+
+constexpr std::size_t kNoTask = ~std::size_t{0};
+
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Route every stage of a newly admitted job to a pool.
+  [[nodiscard]] virtual std::array<PoolKey, core::kJobCount> plan(
+      const Job& job, const JobTemplate& tmpl) = 0;
+
+  /// Index into `queue` of the task an idle VM in `pool` should run next
+  /// (kNoTask = leave the VM idle). `queue` is in enqueue order.
+  [[nodiscard]] virtual std::size_t pick(const std::vector<TaskRef>& queue,
+                                         const PoolKey& pool) const = 0;
+};
+
+/// FIFO-any: one global queue, every stage targets a single big default
+/// pool, and any idle VM anywhere takes the head task. This is the
+/// "just give everyone large machines" baseline the paper's Fig. 6 calls
+/// over-provisioning.
+class FifoAnyPolicy : public SchedulerPolicy {
+ public:
+  explicit FifoAnyPolicy(
+      PoolKey default_pool = {perf::InstanceFamily::kGeneralPurpose, 8})
+      : default_pool_(default_pool) {}
+
+  [[nodiscard]] std::string name() const override { return "fifo"; }
+  [[nodiscard]] std::array<PoolKey, core::kJobCount> plan(
+      const Job& job, const JobTemplate& tmpl) override;
+  [[nodiscard]] std::size_t pick(const std::vector<TaskRef>& queue,
+                                 const PoolKey& pool) const override;
+
+ private:
+  PoolKey default_pool_;
+};
+
+/// Cost-aware: at admission, solve the job's MCKP (greedy heuristic over
+/// the DeploymentOptimizer's stages) against its SLO budget, then route
+/// every stage to the recommended (family, size). Stages wait for their
+/// own pool — the autoscaler grows pools that have queued demand.
+class CostAwarePolicy : public SchedulerPolicy {
+ public:
+  explicit CostAwarePolicy(
+      cloud::PricingCatalog catalog = cloud::PricingCatalog::aws_like(),
+      double queueing_headroom = 0.75)
+      : optimizer_(catalog), headroom_(queueing_headroom) {}
+
+  [[nodiscard]] std::string name() const override { return "cost"; }
+  [[nodiscard]] std::array<PoolKey, core::kJobCount> plan(
+      const Job& job, const JobTemplate& tmpl) override;
+  [[nodiscard]] std::size_t pick(const std::vector<TaskRef>& queue,
+                                 const PoolKey& pool) const override;
+
+ private:
+  core::DeploymentOptimizer optimizer_;
+  double headroom_;  // fraction of the SLO budget MCKP may spend on service
+};
+
+/// Deadline-aware EDF with preemption-free backfill: MCKP routing like the
+/// cost-aware policy, but the queue drains in earliest-deadline order, and
+/// an idle VM with no matching work backfills the earliest-deadline task
+/// from any pool rather than sitting idle.
+class EdfBackfillPolicy : public CostAwarePolicy {
+ public:
+  using CostAwarePolicy::CostAwarePolicy;
+
+  [[nodiscard]] std::string name() const override { return "edf"; }
+  [[nodiscard]] std::size_t pick(const std::vector<TaskRef>& queue,
+                                 const PoolKey& pool) const override;
+};
+
+/// Factory for the CLI / bench: "fifo" | "cost" | "edf"; throws on unknown.
+std::unique_ptr<SchedulerPolicy> make_policy(const std::string& name);
+
+}  // namespace edacloud::sched

@@ -1,0 +1,256 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace edacloud::sched {
+
+namespace {
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (salt * 0x9E3779B97F4A7C15ULL);
+  return util::splitmix64(state);
+}
+
+}  // namespace
+
+FleetSimulator::FleetSimulator(SimConfig config,
+                               std::vector<JobTemplate> templates,
+                               std::unique_ptr<SchedulerPolicy> policy)
+    : config_(std::move(config)),
+      templates_(std::move(templates)),
+      policy_(std::move(policy)),
+      fleet_(config_.fleet),
+      autoscaler_(config_.autoscaler),
+      generator_(config_.load, &templates_, derive_seed(config_.seed, 1)),
+      fleet_rng_(derive_seed(config_.seed, 2)),
+      spot_rng_(derive_seed(config_.seed, 3)) {
+  if (policy_ == nullptr) throw std::invalid_argument("policy is required");
+}
+
+FleetMetrics FleetSimulator::run() {
+  if (ran_) throw std::logic_error("FleetSimulator::run is single-shot");
+  ran_ = true;
+
+  for (const auto& [pool, count] : config_.warm_pools) {
+    for (int i = 0; i < count; ++i) fleet_.launch(pool, 0.0, fleet_rng_, true);
+  }
+  peak_vms_ = fleet_.total_alive();
+
+  const double first = generator_.next_arrival_after(0.0);
+  if (first <= config_.duration_seconds) {
+    events_.push(first, EventType::kJobArrival);
+  } else {
+    arrivals_open_ = false;
+  }
+  events_.push(config_.autoscaler.interval_seconds,
+               EventType::kAutoscalerTick);
+
+  const double hard_stop =
+      config_.drain_limit_seconds > 0.0
+          ? config_.duration_seconds + config_.drain_limit_seconds
+          : 0.0;
+
+  while (!events_.empty()) {
+    const Event event = events_.pop();
+    now_ = event.time;
+    if (hard_stop > 0.0 && now_ > hard_stop) break;
+    switch (event.type) {
+      case EventType::kJobArrival:
+        handle_arrival(event);
+        break;
+      case EventType::kVmBootComplete:
+        handle_boot(event);
+        break;
+      case EventType::kTaskComplete:
+        handle_task_complete(event);
+        break;
+      case EventType::kSpotInterruption:
+        handle_spot_interruption(event);
+        break;
+      case EventType::kAutoscalerTick:
+        handle_autoscaler_tick();
+        break;
+    }
+    peak_vms_ = std::max(peak_vms_, fleet_.total_alive());
+  }
+
+  MetricsCollector::FleetStats stats;
+  stats.busy_seconds = fleet_.busy_seconds_total();
+  stats.alive_seconds = fleet_.alive_seconds_total(now_);
+  stats.total_cost_usd = fleet_.total_cost_usd(now_);
+  stats.peak_vms = peak_vms_;
+  stats.vms_launched = static_cast<int>(fleet_.instances().size());
+  return metrics_.finalize(config_.duration_seconds, now_, stats);
+}
+
+void FleetSimulator::handle_arrival(const Event& event) {
+  (void)event;
+  const std::uint64_t id = next_job_id_++;
+  Job job = generator_.make_job(id, now_);
+  metrics_.record_submitted();
+  plans_[id] = policy_->plan(job, templates_[job.template_index]);
+  jobs_[id] = job;
+  enqueue_stage(jobs_[id]);
+  dispatch();
+
+  const double next = generator_.next_arrival_after(now_);
+  if (next <= config_.duration_seconds) {
+    events_.push(next, EventType::kJobArrival);
+  } else {
+    arrivals_open_ = false;
+  }
+}
+
+void FleetSimulator::handle_boot(const Event& event) {
+  fleet_.mark_ready(event.vm_id);
+  dispatch();
+}
+
+void FleetSimulator::handle_task_complete(const Event& event) {
+  VmInstance& vm = fleet_.vm(event.vm_id);
+  Job& job = jobs_.at(event.job_id);
+
+  const double service = vm.run_service;
+  double cost = config_.fleet.catalog.job_cost_usd(vm.pool.family,
+                                                   vm.pool.vcpus, service);
+  if (vm.spot) cost *= config_.fleet.spot.price_multiplier;
+  job.cost_usd += cost;
+
+  fleet_.release(event.vm_id, now_);
+  job.stage_progress = 0.0;
+  ++job.stage;
+  if (job.done()) {
+    job.completion_time = now_;
+    const JobTemplate& tmpl = templates_[job.template_index];
+    metrics_.record_completion(
+        job, job.scale * tmpl.best_total_runtime_seconds());
+  } else {
+    enqueue_stage(job);
+  }
+  dispatch();
+}
+
+void FleetSimulator::handle_spot_interruption(const Event& event) {
+  Job& job = jobs_.at(event.job_id);
+  VmInstance& vm = fleet_.vm(event.vm_id);
+
+  // Credit the survivable part of the attempt: of the fraction of the stage
+  // this attempt covered, restart_overhead_fraction is lost on restart.
+  const double elapsed = now_ - vm.run_start;
+  const double attempt_share = 1.0 - job.stage_progress;
+  const double done =
+      vm.run_service > 0.0 ? elapsed / vm.run_service : 1.0;
+  job.stage_progress +=
+      attempt_share * done *
+      (1.0 - config_.fleet.spot.restart_overhead_fraction);
+  job.stage_progress = std::clamp(job.stage_progress, 0.0, 0.999999);
+  ++job.preemptions;
+  metrics_.record_preemption();
+
+  // The spot machine is reclaimed; billing stops here, the stage requeues.
+  fleet_.retire(event.vm_id, now_);
+  enqueue_stage(job);
+  dispatch();
+}
+
+void FleetSimulator::handle_autoscaler_tick() {
+  // Demand per pool: queued tasks by routed pool + current fleet state.
+  std::map<PoolKey, PoolDemand> demand;
+  for (const TaskRef& task : queue_) ++demand[task.preferred].queued;
+  std::set<PoolKey> keys;
+  for (const auto& [key, d] : demand) keys.insert(key);
+  for (const PoolKey& key : fleet_.pools()) {
+    if (fleet_.alive_count(key) > 0) keys.insert(key);
+  }
+  for (const PoolKey& key : keys) {
+    PoolDemand& d = demand[key];
+    d.busy = fleet_.busy_count(key);
+    d.alive = fleet_.alive_count(key);
+    const int delta = autoscaler_.decide(key, d, now_);
+    if (delta > 0) {
+      for (int i = 0; i < delta; ++i) {
+        const int id = fleet_.launch(key, now_, fleet_rng_);
+        events_.push(now_ + config_.fleet.boot_seconds,
+                     EventType::kVmBootComplete, 0, id);
+      }
+    } else if (delta < 0) {
+      // Retire newest idle machines first (deterministic, keeps the
+      // longest-running — soon cheapest-per-billed-second — VMs alive).
+      auto idle = fleet_.idle_in(key);
+      const int retire =
+          std::min<int>(-delta, static_cast<int>(idle.size()));
+      for (int i = 0; i < retire; ++i) {
+        fleet_.retire(idle[idle.size() - 1 - static_cast<std::size_t>(i)],
+                      now_);
+      }
+    }
+  }
+  dispatch();
+
+  if (arrivals_open_ || in_flight() > 0) {
+    events_.push(now_ + config_.autoscaler.interval_seconds,
+                 EventType::kAutoscalerTick);
+  }
+}
+
+void FleetSimulator::enqueue_stage(const Job& job) {
+  TaskRef task;
+  task.job_id = job.id;
+  task.stage = job.stage;
+  task.enqueue_time = now_;
+  task.deadline = job.slo_deadline;
+  task.preferred = plans_.at(job.id)[job.stage];
+  task.seq = next_task_seq_++;
+  queue_.push_back(task);
+}
+
+void FleetSimulator::dispatch() {
+  for (const PoolKey& pool : fleet_.pools()) {
+    for (const int vm_id : fleet_.idle_in(pool)) {
+      if (queue_.empty()) return;
+      const std::size_t index = policy_->pick(queue_, pool);
+      if (index == kNoTask) break;  // nothing routed here; next pool
+      const TaskRef task = queue_[index];
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+      start_task(vm_id, task);
+    }
+  }
+}
+
+void FleetSimulator::start_task(int vm_id, const TaskRef& task) {
+  Job& job = jobs_.at(task.job_id);
+  VmInstance& vm = fleet_.vm(vm_id);
+  const double service = service_seconds(job, vm);
+  fleet_.assign(vm_id, job.id, now_, service);
+  if (job.first_dispatch_time < 0.0) job.first_dispatch_time = now_;
+  metrics_.record_dispatch(now_ - task.enqueue_time);
+
+  if (vm.spot) {
+    const double reclaim_in =
+        config_.fleet.spot.sample_time_to_interruption(spot_rng_);
+    if (reclaim_in < service) {
+      events_.push(now_ + reclaim_in, EventType::kSpotInterruption, job.id,
+                   vm_id);
+      return;
+    }
+  }
+  events_.push(now_ + service, EventType::kTaskComplete, job.id, vm_id);
+}
+
+double FleetSimulator::service_seconds(const Job& job,
+                                       const VmInstance& vm) const {
+  const JobTemplate& tmpl = templates_[job.template_index];
+  const double full =
+      tmpl.runtime(static_cast<core::JobKind>(job.stage), vm.pool.family,
+                   vm.pool.vcpus) *
+      job.scale;
+  return std::max(1e-9, full * (1.0 - job.stage_progress));
+}
+
+std::uint64_t FleetSimulator::in_flight() const {
+  return metrics_.submitted() - metrics_.completed();
+}
+
+}  // namespace edacloud::sched

@@ -1,0 +1,85 @@
+#pragma once
+// The discrete-event cloud fleet simulator (the dynamic half of the paper's
+// problem): an open-loop stream of EDA flow jobs arrives at an autoscaled
+// fleet of priced VM pools; a pluggable policy routes each flow stage to a
+// machine; spot instances get reclaimed mid-run and retry. Everything is
+// driven by one seeded event queue, so a (config, seed) pair fully
+// determines the resulting FleetMetrics.
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sched/autoscaler.hpp"
+#include "sched/event_queue.hpp"
+#include "sched/fleet.hpp"
+#include "sched/job.hpp"
+#include "sched/load_gen.hpp"
+#include "sched/metrics.hpp"
+#include "sched/policy.hpp"
+
+namespace edacloud::sched {
+
+struct SimConfig {
+  /// Arrivals stop after this much sim time; in-flight jobs then drain.
+  double duration_seconds = 4 * 3600.0;
+  /// Hard stop for the drain phase (0 = drain until every job finishes).
+  double drain_limit_seconds = 0.0;
+  std::uint64_t seed = 1;
+  LoadConfig load;
+  FleetConfig fleet;
+  AutoscalerConfig autoscaler;
+  /// Pools pre-provisioned (already booted) at t = 0.
+  std::vector<std::pair<PoolKey, int>> warm_pools;
+};
+
+class FleetSimulator {
+ public:
+  FleetSimulator(SimConfig config, std::vector<JobTemplate> templates,
+                 std::unique_ptr<SchedulerPolicy> policy);
+
+  /// Run to completion and return the metrics. Single-shot.
+  FleetMetrics run();
+
+  [[nodiscard]] const Fleet& fleet() const { return fleet_; }
+  [[nodiscard]] const SchedulerPolicy& policy() const { return *policy_; }
+
+ private:
+  void handle_arrival(const Event& event);
+  void handle_boot(const Event& event);
+  void handle_task_complete(const Event& event);
+  void handle_spot_interruption(const Event& event);
+  void handle_autoscaler_tick();
+
+  void enqueue_stage(const Job& job);
+  void dispatch();
+  void start_task(int vm_id, const TaskRef& task);
+  [[nodiscard]] double service_seconds(const Job& job,
+                                       const VmInstance& vm) const;
+  [[nodiscard]] std::uint64_t in_flight() const;
+
+  SimConfig config_;
+  std::vector<JobTemplate> templates_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+
+  EventQueue events_;
+  Fleet fleet_;
+  Autoscaler autoscaler_;
+  LoadGenerator generator_;
+  MetricsCollector metrics_;
+  util::Rng fleet_rng_;  // spot-tier assignment on launch
+  util::Rng spot_rng_;   // reclaim timing on spot VMs
+
+  double now_ = 0.0;
+  bool arrivals_open_ = true;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t next_task_seq_ = 0;
+  std::map<std::uint64_t, Job> jobs_;
+  std::map<std::uint64_t, std::array<PoolKey, core::kJobCount>> plans_;
+  std::vector<TaskRef> queue_;
+  int peak_vms_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace edacloud::sched

@@ -26,6 +26,24 @@ void Histogram::add_all(const std::vector<double>& values) {
   for (double v : values) add(v);
 }
 
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto count = static_cast<double>(counts_[b]);
+    if (count == 0.0) continue;
+    if (cumulative + count >= target) {
+      const double fraction =
+          std::clamp((target - cumulative) / count, 0.0, 1.0);
+      return bin_lo(b) + (bin_hi(b) - bin_lo(b)) * fraction;
+    }
+    cumulative += count;
+  }
+  return hi_;
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
                    static_cast<double>(counts_.size());

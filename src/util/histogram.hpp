@@ -23,6 +23,12 @@ class Histogram {
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
+  /// Quantile q in [0, 1] with linear interpolation inside the containing
+  /// bin (the standard binned-quantile estimate: walk the cumulative counts
+  /// to the bin holding rank q*total, then interpolate across its span).
+  /// Returns `lo` for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+
   /// Horizontal bar chart, one line per bin.
   [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/optimizer.hpp"
+#include "util/rng.hpp"
 
 namespace edacloud::core {
 namespace {
@@ -27,6 +30,63 @@ TEST(SpotModelTest, ZeroInterruptionRateIsFree) {
   cloud::SpotModel spot;
   spot.interruptions_per_hour = 0.0;
   EXPECT_DOUBLE_EQ(spot.expected_runtime_seconds(5000.0), 5000.0);
+}
+
+TEST(SpotModelTest, SampledInterruptionsAreSortedAndInWindow) {
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 20.0;  // dense enough to see several events
+  util::Rng rng(7);
+  const double window = 3600.0;
+  const auto events = spot.sample_interruptions(window, rng);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GE(events[i], 0.0);
+    EXPECT_LT(events[i], window);
+    if (i > 0) {
+      EXPECT_GE(events[i], events[i - 1]);
+    }
+  }
+}
+
+TEST(SpotModelTest, SamplerIsDeterministicPerSeed) {
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 5.0;
+  util::Rng a(42), b(42);
+  EXPECT_EQ(spot.sample_interruptions(7200.0, a),
+            spot.sample_interruptions(7200.0, b));
+}
+
+TEST(SpotModelTest, ZeroRateSamplesNoEvents) {
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 0.0;
+  util::Rng rng(3);
+  EXPECT_TRUE(spot.sample_interruptions(1e6, rng).empty());
+  EXPECT_TRUE(std::isinf(spot.sample_time_to_interruption(rng)));
+}
+
+TEST(SpotModelTest, SampleMeanConvergesToExpectedRuntime) {
+  cloud::SpotModel spot;  // 0.08/h, 0.6 overhead
+  util::Rng rng(2026);
+  const double runtime = 5.0 * 3600.0;  // E[interruptions] = 0.4
+  const double expected = spot.expected_runtime_seconds(runtime);
+  double sum = 0.0;
+  constexpr int kReplays = 4000;
+  for (int i = 0; i < kReplays; ++i) {
+    sum += spot.sampled_runtime_seconds(runtime, rng);
+  }
+  const double mean = sum / kReplays;
+  EXPECT_NEAR(mean / expected, 1.0, 0.02);
+}
+
+TEST(SpotModelTest, TimeToInterruptionMatchesExponentialMean) {
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 2.0;
+  util::Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += spot.sample_time_to_interruption(rng);
+  }
+  EXPECT_NEAR(sum / kDraws, 1800.0, 50.0);  // mean = 1/rate = 0.5 h
 }
 
 TEST(SpotPricingTest, DiscountAppliesToExpectedRuntime) {

@@ -243,6 +243,48 @@ TEST(HistogramTest, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
 }
 
+TEST(HistogramTest, QuantileEmptyReturnsLowerBound) {
+  Histogram h(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBin) {
+  // All mass in [0, 1) of a [0, 2) histogram: the median sits halfway
+  // through that bin, the 25th percentile a quarter through.
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 8; ++i) h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileWalksCumulativeCounts) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);          // bin 0: 1
+  h.add(1.5);          // bin 1: 1
+  h.add(2.5);          // bin 2: 1
+  h.add(2.5);          // bin 2: 2
+  // rank 0.75*4 = 3 lands at the end of bin 2's first count — halfway in.
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileApproximatesUniformSample) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.50), 0.50, 0.02);
+  EXPECT_NEAR(h.quantile(0.95), 0.95, 0.02);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeArguments) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.55);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 TEST(HistogramTest, RenderContainsCounts) {
   Histogram h(0.0, 1.0, 2);
   for (int i = 0; i < 7; ++i) h.add(0.25);
