@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 
@@ -21,6 +23,40 @@ inline bool fast_mode(int argc, char** argv) {
   }
   const char* env = std::getenv("EDACLOUD_FAST");
   return env != nullptr && std::string(env) == "1";
+}
+
+inline std::string flag_value(int argc, char** argv,
+                              const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) return argv[i + 1];
+  }
+  return "";
+}
+
+/// --trace F / --metrics F on any bench driver: enables the global tracer
+/// (call at the top of main with the clock domain the harness runs in —
+/// kVirtual for fleet simulations, kWall for engine runs) ...
+inline void observability_setup(int argc, char** argv, obs::ClockMode mode) {
+  if (!flag_value(argc, argv, "--trace").empty()) {
+    obs::Tracer::global().enable(mode);
+  }
+}
+
+/// ... and writes the requested files before main returns.
+inline void observability_flush(int argc, char** argv) {
+  const std::string trace_path = flag_value(argc, argv, "--trace");
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    if (obs::Tracer::global().write_json(trace_path)) {
+      EDACLOUD_INFO << "wrote " << trace_path;
+    }
+  }
+  const std::string metrics_path = flag_value(argc, argv, "--metrics");
+  if (!metrics_path.empty()) {
+    if (obs::Registry::global().write(metrics_path)) {
+      EDACLOUD_INFO << "wrote " << metrics_path;
+    }
+  }
 }
 
 inline void write_csv(const util::CsvWriter& csv, const std::string& name) {

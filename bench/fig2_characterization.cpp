@@ -19,6 +19,7 @@ using namespace edacloud;
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  bench::observability_setup(argc, argv, obs::ClockMode::kWall);
   const auto library = nl::make_generic_14nm_library();
 
   workloads::NamedDesign flagship = workloads::flagship_design();
@@ -98,5 +99,6 @@ int main(int argc, char** argv) {
   }
 
   bench::write_csv(csv, "fig2_characterization.csv");
+  bench::observability_flush(argc, argv);
   return 0;
 }

@@ -51,6 +51,7 @@ sched::SimConfig scenario_config(const Scenario& scenario,
 
 int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
+  bench::observability_setup(argc, argv, obs::ClockMode::kVirtual);
   const std::uint64_t seed = 20260806;
 
   const std::vector<Scenario> scenarios = {
@@ -81,6 +82,8 @@ int main(int argc, char** argv) {
                                 sched::builtin_templates(),
                                 sched::make_policy(policy_name));
       const sched::FleetMetrics m = sim.run();
+      m.export_to(obs::Registry::global(),
+                  {{"mix", scenario.name}, {"policy", policy_name}});
       cost_per_job[s].push_back(m.cost_per_job_usd);
 
       table.add_row({scenario.name, policy_name,
@@ -116,5 +119,6 @@ int main(int argc, char** argv) {
               cost_wins, scenarios.size());
 
   bench::write_csv(csv, "fleet_scenarios.csv");
+  bench::observability_flush(argc, argv);
   return cost_wins >= 2 ? 0 : 1;
 }

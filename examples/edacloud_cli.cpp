@@ -2,11 +2,16 @@
 //
 //   edacloud_cli gen   <family> <size> [--aag out.aag] [--dot out.dot]
 //   edacloud_cli synth <in.aag> [--recipe NAME] [--verilog out.v]
-//   edacloud_cli flow  <family> <size>            # run + QoR summary
+//   edacloud_cli flow  <family> <size> [--trace F] [--metrics F]
 //   edacloud_cli plan  <family> <size> <deadline> [--spot]
 //   edacloud_cli lib   [--out lib.lib]            # dump the built-in library
 //   edacloud_cli fleet-sim [--arrival-rate R] [--policy P] [--seed N]
 //                          [--duration S] [--mix M] [--spot F]
+//                          [--trace F] [--metrics F]
+//
+// --trace writes a Chrome trace_event JSON file (open in Perfetto or
+// chrome://tracing); --metrics writes the unified metrics registry as JSON
+// (or CSV when the filename ends in .csv). See docs/OBSERVABILITY.md.
 //
 // Every subcommand works on files in the formats the library speaks
 // (ASCII AIGER in, structural Verilog / Liberty / DOT out), so the tool
@@ -21,6 +26,8 @@
 
 #include "core/characterize.hpp"
 #include "core/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/simulator.hpp"
 #include "nl/aiger.hpp"
 #include "nl/dot.hpp"
@@ -41,7 +48,8 @@ int usage() {
                "usage:\n"
                "  edacloud_cli gen   <family> <size> [--aag F] [--dot F]\n"
                "  edacloud_cli synth <in.aag> [--recipe NAME] [--verilog F]\n"
-               "  edacloud_cli flow  <family> <size>\n"
+               "  edacloud_cli flow  <family> <size> [--trace F] "
+               "[--metrics F]\n"
                "  edacloud_cli plan  <family> <size> <deadline_s> [--spot]\n"
                "  edacloud_cli lib   [--out F]\n"
                "  edacloud_cli fleet-sim [--arrival-rate JOBS_PER_HOUR]\n"
@@ -49,6 +57,7 @@ int usage() {
                "                         [--duration SECONDS]\n"
                "                         [--mix uniform|skewed|bursty]\n"
                "                         [--spot FRACTION]\n"
+               "                         [--trace F] [--metrics F]\n"
                "families:");
   for (const auto& info : workloads::families()) {
     std::fprintf(stderr, " %s", info.name.c_str());
@@ -154,10 +163,26 @@ int cmd_synth(const std::vector<std::string>& args) {
 
 int cmd_flow(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
+  const std::string trace_path = flag_value(args, "--trace");
+  const std::string metrics_path = flag_value(args, "--metrics");
+  if (!trace_path.empty()) {
+    obs::Tracer::global().enable(obs::ClockMode::kWall);
+  }
+  // With --metrics the flow runs instrumented against both VM ladders so
+  // the registry carries per-stage runtime/counter measurements, not just
+  // the QoR table below.
+  std::vector<perf::VmConfig> configs;
+  if (!metrics_path.empty()) {
+    for (const auto family : {perf::InstanceFamily::kGeneralPurpose,
+                              perf::InstanceFamily::kMemoryOptimized}) {
+      for (const auto& vm : perf::vm_ladder(family)) configs.push_back(vm);
+    }
+  }
+
   const nl::Aig aig = generate_or_die(args[0], std::atoi(args[1].c_str()));
   const nl::CellLibrary library = nl::make_generic_14nm_library();
   core::EdaFlow flow(library);
-  const auto result = flow.run(aig, {});
+  const auto result = flow.run(aig, configs);
   const auto stats = result.synthesis.mapped.netlist.stats();
 
   util::Table table({"Metric", "Value"});
@@ -181,6 +206,18 @@ int cmd_flow(const std::vector<std::string>& args) {
   table.add_row({"dynamic power (uW)",
                  util::format_fixed(result.timing.dynamic_power_uw, 2)});
   std::printf("%s", table.render().c_str());
+
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    if (!obs::Tracer::global().write_json(trace_path)) return 1;
+    std::printf("wrote %s (%zu events)\n", trace_path.c_str(),
+                obs::Tracer::global().event_count());
+  }
+  if (!metrics_path.empty()) {
+    if (!obs::Registry::global().write(metrics_path)) return 1;
+    std::printf("wrote %s (%zu metrics)\n", metrics_path.c_str(),
+                obs::Registry::global().size());
+  }
   return 0;
 }
 
@@ -255,6 +292,14 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
     return 2;
   }
 
+  const std::string trace_path = flag_value(args, "--trace");
+  const std::string metrics_path = flag_value(args, "--metrics");
+  if (!trace_path.empty()) {
+    // Virtual clock: span timestamps are simulated seconds, so same-seed
+    // runs serialize to byte-identical trace files.
+    obs::Tracer::global().enable(obs::ClockMode::kVirtual);
+  }
+
   std::printf(
       "fleet-sim: mix=%s policy=%s rate=%.0f/h duration=%.0fs seed=%llu "
       "spot=%.0f%%\n",
@@ -264,7 +309,23 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
       config.fleet.spot_fraction * 100.0);
   sched::FleetSimulator sim(config, sched::builtin_templates(),
                             sched::make_policy(policy_name));
-  std::printf("%s", sim.run().render().c_str());
+  const sched::FleetMetrics metrics = sim.run();
+  std::printf("%s", metrics.render().c_str());
+
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    if (!obs::Tracer::global().write_json(trace_path)) return 1;
+    std::printf("wrote %s (%zu events)\n", trace_path.c_str(),
+                obs::Tracer::global().event_count());
+  }
+  if (!metrics_path.empty()) {
+    metrics.export_to(obs::Registry::global(),
+                      {{"policy", policy_name},
+                       {"mix", config.load.mix.name}});
+    if (!obs::Registry::global().write(metrics_path)) return 1;
+    std::printf("wrote %s (%zu metrics)\n", metrics_path.c_str(),
+                obs::Registry::global().size());
+  }
   return 0;
 }
 

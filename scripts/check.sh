@@ -19,6 +19,40 @@ run_pass() {
 
 run_pass "plain" build
 
+# Observability smoke-run: emit a trace + metrics dump from the real CLI and
+# fail tier-1 if the telemetry is malformed or the same seed stops producing
+# byte-identical virtual-clock traces (docs/OBSERVABILITY.md).
+trace_smoke() {
+  local cli="build/examples/edacloud_cli"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  echo "=== trace smoke: flow --trace/--metrics ==="
+  "${cli}" flow adder 64 --trace "${tmp}/flow_trace.json" \
+    --metrics "${tmp}/flow_metrics.json" > /dev/null
+  python3 -m json.tool "${tmp}/flow_trace.json" > /dev/null
+  python3 -m json.tool "${tmp}/flow_metrics.json" > /dev/null
+  for stage in synth place route sta; do
+    grep -q "\"${stage}/" "${tmp}/flow_trace.json" || {
+      echo "trace smoke: no ${stage}/ spans in flow trace" >&2
+      return 1
+    }
+  done
+
+  echo "=== trace smoke: fleet-sim same-seed byte-identity ==="
+  for run in 1 2; do
+    "${cli}" fleet-sim --seed 42 --duration 3600 \
+      --trace "${tmp}/fleet_${run}.json" \
+      --metrics "${tmp}/fleet_m${run}.json" > /dev/null
+  done
+  python3 -m json.tool "${tmp}/fleet_1.json" > /dev/null
+  cmp "${tmp}/fleet_1.json" "${tmp}/fleet_2.json"
+  cmp "${tmp}/fleet_m1.json" "${tmp}/fleet_m2.json"
+}
+
+trace_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
 fi

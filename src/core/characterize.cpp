@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace edacloud::core {
 
 namespace {
@@ -39,6 +41,7 @@ perf::InstanceFamily recommended_family(JobKind job) {
 
 CharacterizationReport Characterizer::characterize(
     const nl::Aig& design) const {
+  TRACE_SPAN_VAR(span, "characterize/design", "characterize");
   const auto configs = both_family_ladder();
   EdaFlow flow(*library_, options_);
   const FlowResult result = flow.run(design, configs);
@@ -47,6 +50,8 @@ CharacterizationReport Characterizer::characterize(
   report.design_name = result.design_name;
   report.instance_count =
       result.synthesis.mapped.netlist.stats().instance_count;
+  span.counter("instances", static_cast<double>(report.instance_count));
+  span.counter("configs", static_cast<double>(configs.size()));
 
   for (JobKind job : kAllJobs) {
     const perf::JobMeasurement& measurement = result.measurement(job);

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "perf/obs_export.hpp"
+
 namespace edacloud::core {
 
 std::string job_name(JobKind job) {
@@ -22,19 +26,42 @@ FlowResult EdaFlow::run(const nl::Aig& design,
                         const std::vector<perf::VmConfig>& configs) const {
   FlowResult result;
   result.design_name = design.name();
+  TRACE_SPAN_VAR(flow_span, "flow/run", "flow");
 
-  synth::SynthesisEngine synthesis_engine(*library_);
-  result.synthesis = synthesis_engine.run(design, options_.recipe, configs);
+  {
+    TRACE_SPAN_VAR(span, "flow/synthesis", "flow");
+    synth::SynthesisEngine synthesis_engine(*library_);
+    result.synthesis = synthesis_engine.run(design, options_.recipe, configs);
+    span.counter("cells",
+                 static_cast<double>(result.synthesis.mapped.cell_count));
+  }
   const nl::Netlist& netlist = result.synthesis.mapped.netlist;
 
-  place::QuadraticPlacer placer(options_.placer);
-  result.placement = placer.run(netlist, configs);
+  {
+    TRACE_SPAN_VAR(span, "flow/placement", "flow");
+    place::QuadraticPlacer placer(options_.placer);
+    result.placement = placer.run(netlist, configs);
+    span.counter("hpwl_um", result.placement.hpwl_um);
+  }
 
-  route::GridRouter router(options_.router);
-  result.routing = router.run(netlist, result.placement.placement, configs);
+  {
+    TRACE_SPAN_VAR(span, "flow/routing", "flow");
+    route::GridRouter router(options_.router);
+    result.routing = router.run(netlist, result.placement.placement, configs);
+    span.counter("wirelength_gedges",
+                 static_cast<double>(result.routing.wirelength_gedges));
+    span.counter("overflowed_edges",
+                 static_cast<double>(result.routing.overflowed_edges));
+  }
 
-  sta::StaEngine sta_engine(options_.sta);
-  result.timing = sta_engine.run(netlist, &result.placement.placement, configs);
+  {
+    TRACE_SPAN_VAR(span, "flow/sta", "flow");
+    sta::StaEngine sta_engine(options_.sta);
+    result.timing =
+        sta_engine.run(netlist, &result.placement.placement, configs);
+    span.counter("critical_path_ps", result.timing.critical_path_ps);
+    span.counter("worst_slack_ps", result.timing.worst_slack_ps);
+  }
 
   if (!configs.empty()) {
     const std::array<const perf::JobProfile*, kJobCount> profiles = {
@@ -45,8 +72,37 @@ FlowResult EdaFlow::run(const nl::Aig& design,
       params.time_scale *= options_.calibration.time_scale[j];
       result.measurements[j] = perf::measure(*profiles[j], params);
     }
+    export_metrics(result);
   }
   return result;
+}
+
+/// Publish one flow run into the global metrics registry: per-stage
+/// runtime-model measurements (absorbing the perf counter snapshots the
+/// stages used to report only through their own structs) plus the headline
+/// QoR gauges, all labelled with the design name.
+void EdaFlow::export_metrics(const FlowResult& result) {
+  obs::Registry& registry = obs::Registry::global();
+  const obs::Labels design_labels = {{"design", result.design_name}};
+  for (int j = 0; j < kJobCount; ++j) {
+    obs::Labels labels = design_labels;
+    labels.emplace_back("stage", job_name(static_cast<JobKind>(j)));
+    perf::absorb_measurement(registry, result.measurements[j], labels);
+  }
+  const auto set = [&](const char* name, double value) {
+    registry.gauge(name, design_labels).set(value);
+  };
+  const auto stats = result.synthesis.mapped.netlist.stats();
+  set("flow.instances", static_cast<double>(stats.instance_count));
+  set("flow.area_um2", stats.total_area_um2);
+  set("flow.logic_depth", static_cast<double>(stats.logic_depth));
+  set("flow.hpwl_um", result.placement.hpwl_um);
+  set("flow.wirelength_gedges",
+      static_cast<double>(result.routing.wirelength_gedges));
+  set("flow.overflowed_edges",
+      static_cast<double>(result.routing.overflowed_edges));
+  set("flow.critical_path_ps", result.timing.critical_path_ps);
+  set("flow.worst_slack_ps", result.timing.worst_slack_ps);
 }
 
 }  // namespace edacloud::core

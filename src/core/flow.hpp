@@ -76,6 +76,11 @@ class EdaFlow {
       const nl::Aig& design,
       const std::vector<perf::VmConfig>& configs) const;
 
+  /// Publish a measured run's per-stage measurements + QoR gauges into the
+  /// global obs::Registry (called automatically by run() when instrumented;
+  /// public so drivers can re-export results they assembled themselves).
+  static void export_metrics(const FlowResult& result);
+
   [[nodiscard]] const FlowOptions& options() const { return options_; }
 
  private:

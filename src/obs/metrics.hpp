@@ -1,0 +1,122 @@
+#pragma once
+// Process-wide metrics registry: counters, gauges and histograms with
+// labels, exported deterministically to JSON or CSV. This is the single
+// machine-readable reporting path for the repo — perf::OpCounts snapshots,
+// flow QoR numbers and sched::FleetMetrics all land here (see the
+// absorb/export adapters in perf/ and sched/) instead of each subsystem
+// inventing its own dump format.
+//
+// Identity: a metric is (name, sorted label set). Lookups intern the
+// instrument on first use; repeated lookups return the same instrument, so
+// hot paths can cache the reference. All exports iterate the instruments
+// in lexicographic key order — same values always serialize to the same
+// bytes, which the determinism tests rely on.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace edacloud::obs {
+
+/// Label set, e.g. {{"stage","routing"},{"family","M"}}. Order-insensitive:
+/// the registry sorts by key before interning.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bin histogram instrument (bounded memory) plus exact count / sum /
+/// min / max. Quantiles use util::Histogram's interpolated binned estimate.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : bins_(lo, hi, bins) {}
+
+  void observe(double value);
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double quantile(double q) const { return bins_.quantile(q); }
+
+ private:
+  util::Histogram bins_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry the CLI/bench --metrics flags export.
+  static Registry& global();
+
+  /// Instruments are created on first lookup and live until clear().
+  /// References stay valid across later lookups (stable addresses).
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// Histogram range/bins are fixed by the FIRST lookup; later lookups with
+  /// the same identity ignore them.
+  HistogramMetric& histogram(std::string_view name, const Labels& labels = {},
+                             double lo = 0.0, double hi = 1.0,
+                             std::size_t bins = 64);
+
+  /// Deterministic exports (instruments in lexicographic key order).
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+  bool write(const std::string& path) const;  // .csv => CSV, else JSON
+
+  /// Convenience for tests / adapters.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Counter* find_counter(std::string_view name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name,
+                                        const Labels& labels = {}) const;
+
+  void clear();
+
+  /// Canonical identity string: name{k1=v1,k2=v2} with keys sorted.
+  static std::string key(std::string_view name, const Labels& labels);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;  // sorted
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  Entry& intern(Kind kind, std::string_view name, const Labels& labels,
+                double lo, double hi, std::size_t bins);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace edacloud::obs

@@ -1,0 +1,137 @@
+#pragma once
+// Scoped span tracer emitting Chrome trace_event JSON (loadable in Perfetto
+// or chrome://tracing). Engines mark phases with TRACE_SPAN("synth/rewrite");
+// spans nest per thread via RAII and may carry numeric counter attachments
+// that appear as `args` in the trace viewer.
+//
+// Two clock domains:
+//   * kWall    — steady_clock microseconds since enable(); the default for
+//                host-side engine runs.
+//   * kVirtual — a manually-advanced simulated clock, driven by the sched
+//                fleet simulator, so same-seed runs serialize to
+//                byte-identical trace files (see docs/OBSERVABILITY.md).
+//
+// The tracer is process-global and disabled by default; a disabled tracer
+// costs one relaxed atomic load per span.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edacloud::obs {
+
+enum class ClockMode : int { kWall = 0, kVirtual = 1 };
+
+/// One numeric counter attachment; serialized into the event's `args`.
+struct TraceArg {
+  std::string key;
+  double value = 0.0;
+};
+
+/// One completed span ("ph":"X") or counter sample ("ph":"C").
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  double ts_us = 0.0;   // start, microseconds in the active clock domain
+  double dur_us = 0.0;  // span duration ("X" only)
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // nesting depth at emission (tests/debugging)
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer the TRACE_SPAN macros write to.
+  static Tracer& global();
+
+  void enable(ClockMode mode = ClockMode::kWall);
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] ClockMode clock_mode() const { return mode_; }
+
+  /// Current time in microseconds in the active clock domain.
+  [[nodiscard]] double now_us() const;
+  /// Advance the virtual clock (kVirtual mode; seconds of simulated time).
+  void set_virtual_time_seconds(double seconds);
+
+  /// Record a completed span with explicit timing — used by the fleet
+  /// simulator, whose spans (task executions on VMs) start in the past.
+  /// `tid` is a logical lane (e.g. the VM id), not a host thread.
+  void emit_complete(std::string_view name, std::string_view category,
+                     double ts_us, double dur_us, std::uint32_t tid,
+                     std::vector<TraceArg> args = {});
+  /// Record a counter sample (rendered as a stacked area track).
+  void emit_counter(std::string_view name, double ts_us, double value);
+
+  /// Stable small integer id for the calling host thread (registration
+  /// order). Lane 0 is always the first thread that traced anything.
+  [[nodiscard]] std::uint32_t thread_lane();
+
+  /// Events recorded so far (copy; for tests and programmatic inspection).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Serialize to Chrome trace_event JSON ({"traceEvents":[...]}). Events
+  /// are sorted by (ts, tid, -dur, name) so same-clock runs are
+  /// byte-identical regardless of destruction order.
+  [[nodiscard]] std::string to_json() const;
+  /// to_json() to a file; false (and a WARN log) on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Drop all recorded events (keeps enabled state and clock mode).
+  void clear();
+
+  // ---- ScopedSpan support --------------------------------------------------
+  std::uint32_t push_depth();  // returns depth before increment
+  void pop_depth();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  ClockMode mode_ = ClockMode::kWall;
+  double wall_epoch_us_ = 0.0;     // steady_clock at enable()
+  std::atomic<double> virtual_us_{0.0};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint32_t next_lane_ = 0;
+};
+
+/// RAII span: records a "ph":"X" complete event over its lifetime on the
+/// calling thread's lane. Construction/destruction are no-ops while the
+/// global tracer is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::string_view category = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a numeric counter to this span (shows up under `args`).
+  void counter(std::string_view key, double value);
+
+ private:
+  bool active_ = false;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+  std::string name_;
+  std::string category_;
+  std::vector<TraceArg> args_;
+};
+
+}  // namespace edacloud::obs
+
+// Span covering the enclosing scope. Usage: TRACE_SPAN("route/ripup");
+#define EDACLOUD_TRACE_CONCAT_INNER(a, b) a##b
+#define EDACLOUD_TRACE_CONCAT(a, b) EDACLOUD_TRACE_CONCAT_INNER(a, b)
+#define TRACE_SPAN(...)                                    \
+  ::edacloud::obs::ScopedSpan EDACLOUD_TRACE_CONCAT(      \
+      edacloud_trace_span_, __LINE__)(__VA_ARGS__)
+// Named variant when counters will be attached:
+//   TRACE_SPAN_VAR(span, "synth/map"); ... span.counter("cells", n);
+#define TRACE_SPAN_VAR(var, ...) ::edacloud::obs::ScopedSpan var(__VA_ARGS__)

@@ -1,0 +1,61 @@
+#include "perf/obs_export.hpp"
+
+#include <string>
+
+#include "perf/vm.hpp"
+
+namespace edacloud::perf {
+
+void absorb_counts(obs::Registry& registry, const OpCounts& counts,
+                   const obs::Labels& labels) {
+  const auto qualified = [](const char* name) {
+    std::string full = "perf.";
+    full += name;
+    return full;
+  };
+  const auto add = [&](const char* name, std::uint64_t value) {
+    registry.counter(qualified(name), labels).add(value);
+  };
+  add("int_ops", counts.int_ops);
+  add("fp_ops", counts.fp_ops);
+  add("avx_ops", counts.avx_ops);
+  add("loads", counts.loads);
+  add("stores", counts.stores);
+  add("branches", counts.branches);
+  add("branch_misses", counts.branch_misses);
+  add("l1_accesses", counts.l1_accesses);
+  add("l1_misses", counts.l1_misses);
+  add("llc_accesses", counts.llc_accesses);
+  add("llc_misses", counts.llc_misses);
+
+  const auto set = [&](const char* name, double value) {
+    registry.gauge(qualified(name), labels).set(value);
+  };
+  set("branch_miss_rate", counts.branch_miss_rate());
+  set("l1_miss_rate", counts.l1_miss_rate());
+  set("llc_miss_rate", counts.llc_miss_rate());
+  set("avx_fraction", counts.avx_fraction());
+}
+
+void absorb_measurement(obs::Registry& registry, const JobMeasurement& m,
+                        const obs::Labels& labels) {
+  for (std::size_t i = 0; i < m.configs.size(); ++i) {
+    obs::Labels config_labels = labels;
+    config_labels.emplace_back("family",
+                               std::string(to_string(m.configs[i].family)));
+    config_labels.emplace_back("vcpus",
+                               std::to_string(m.configs[i].vcpus));
+    const auto set = [&](const char* name, const std::vector<double>& v) {
+      std::string full = "perf.";
+      full += name;
+      if (i < v.size()) registry.gauge(full, config_labels).set(v[i]);
+    };
+    set("runtime_seconds", m.runtime_seconds);
+    set("speedup", m.speedup);
+    set("branch_miss_rate", m.branch_miss_rate);
+    set("llc_miss_rate", m.llc_miss_rate);
+    set("avx_fraction", m.avx_fraction);
+  }
+}
+
+}  // namespace edacloud::perf

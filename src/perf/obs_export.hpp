@@ -1,0 +1,23 @@
+#pragma once
+// Adapters that absorb perf's bespoke structures into the unified
+// obs::Registry, so hardware-counter snapshots and runtime-model
+// measurements share one export path (CSV/JSON) with the rest of the
+// system instead of ad-hoc printf tables.
+
+#include "obs/metrics.hpp"
+#include "perf/counters.hpp"
+#include "perf/runtime_model.hpp"
+
+namespace edacloud::perf {
+
+/// One OpCounts snapshot -> perf.* counters and rate gauges under `labels`.
+/// Counters accumulate, so absorb each snapshot once per label set.
+void absorb_counts(obs::Registry& registry, const OpCounts& counts,
+                   const obs::Labels& labels);
+
+/// One per-ladder JobMeasurement -> runtime/speedup/counter-rate gauges,
+/// labelled by `labels` + {family, vcpus} per configuration.
+void absorb_measurement(obs::Registry& registry, const JobMeasurement& m,
+                        const obs::Labels& labels);
+
+}  // namespace edacloud::perf

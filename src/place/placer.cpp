@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "perf/instrument.hpp"
 
 namespace edacloud::place {
@@ -456,28 +457,38 @@ PlacementResult QuadraticPlacer::run(
   placement.x.assign(netlist.node_count(), side / 2);
   placement.y.assign(netlist.node_count(), side / 2);
 
+  TRACE_SPAN_VAR(run_span, "place/run", "place");
   place_pads(netlist, side, side, placement);
-  StarProblem problem = build_problem(netlist, placement, meter);
+  StarProblem problem = [&] {
+    TRACE_SPAN("place/build_problem", "place");
+    return build_problem(netlist, placement, meter);
+  }();
   const std::size_t m = problem.movable.size();
+  run_span.counter("movable_cells", static_cast<double>(m));
 
   std::vector<double> x(m, side / 2), y(m, side / 2);
   std::vector<double> anchor_x, anchor_y;
 
   int iterations = 0;
-  for (int global = 0; global < std::max(1, options_.global_iterations);
-       ++global) {
-    const bool anchored = global > 0;
-    iterations += cg_solve(problem, problem.bx,
-                           anchored ? &anchor_x : nullptr,
-                           options_.anchor_weight, x,
-                           options_.cg_iterations, meter);
-    iterations += cg_solve(problem, problem.by,
-                           anchored ? &anchor_y : nullptr,
-                           options_.anchor_weight, y,
-                           options_.cg_iterations, meter);
-    spread(problem, side, side, x, y, meter);
-    anchor_x = x;
-    anchor_y = y;
+  {
+    TRACE_SPAN_VAR(solve_span, "place/solve", "place");
+    for (int global = 0; global < std::max(1, options_.global_iterations);
+         ++global) {
+      const bool anchored = global > 0;
+      iterations += cg_solve(problem, problem.bx,
+                             anchored ? &anchor_x : nullptr,
+                             options_.anchor_weight, x,
+                             options_.cg_iterations, meter);
+      iterations += cg_solve(problem, problem.by,
+                             anchored ? &anchor_y : nullptr,
+                             options_.anchor_weight, y,
+                             options_.cg_iterations, meter);
+      TRACE_SPAN("place/spread", "place");
+      spread(problem, side, side, x, y, meter);
+      anchor_x = x;
+      anchor_y = y;
+    }
+    solve_span.counter("cg_iterations", iterations);
   }
 
   // Write back pre-legalization coordinates for the HPWL snapshot.
@@ -487,14 +498,18 @@ PlacementResult QuadraticPlacer::run(
   }
   result.hpwl_before_legalization_um = hpwl_um(netlist, placement);
 
-  legalize(netlist, problem, side, side, placement.row_height_um, x, y,
-           meter);
+  {
+    TRACE_SPAN("place/legalize", "place");
+    legalize(netlist, problem, side, side, placement.row_height_um, x, y,
+             meter);
+  }
   for (std::size_t i = 0; i < m; ++i) {
     placement.x[problem.movable[i]] = x[i];
     placement.y[problem.movable[i]] = y[i];
   }
   result.hpwl_um = hpwl_um(netlist, placement);
   result.solver_iterations = iterations;
+  run_span.counter("hpwl_um", result.hpwl_um);
 
   // ---- task graph: CG iteration chain with parallel SpMV chunks ------------
   TaskGraph tasks;

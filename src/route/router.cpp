@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/trace.hpp"
 #include "perf/instrument.hpp"
 
 namespace edacloud::route {
@@ -424,28 +425,36 @@ RoutingResult GridRouter::run(const Netlist& netlist,
   ops.reserve(connections.size());
 
   // ---- initial routing ----------------------------------------------------------
-  for (std::uint32_t idx : order) {
-    std::vector<std::uint32_t> edges;
-    if (options_.pattern_route && patterns.route(connections[idx], edges)) {
-      ++result.routed_count;
-      ++result.pattern_routed;
-      // Pattern cost: one pass over the path (cheap vs a maze search).
-      ops.push_back({idx, static_cast<double>(edges.size() + 2), 0});
-      routed_edges[idx] = std::move(edges);
-      continue;
+  {
+    TRACE_SPAN_VAR(initial_span, "route/initial", "route");
+    initial_span.counter("connections",
+                         static_cast<double>(connections.size()));
+    for (std::uint32_t idx : order) {
+      std::vector<std::uint32_t> edges;
+      if (options_.pattern_route && patterns.route(connections[idx], edges)) {
+        ++result.routed_count;
+        ++result.pattern_routed;
+        // Pattern cost: one pass over the path (cheap vs a maze search).
+        ops.push_back({idx, static_cast<double>(edges.size() + 2), 0});
+        routed_edges[idx] = std::move(edges);
+        continue;
+      }
+      const std::uint64_t expansions = maze.route(connections[idx], edges, idx);
+      result.total_expansions += expansions;
+      if (expansions > 0) {
+        ++result.routed_count;
+        routed_edges[idx] = std::move(edges);
+        ops.push_back({idx, static_cast<double>(expansions), 0});
+      }
     }
-    const std::uint64_t expansions = maze.route(connections[idx], edges, idx);
-    result.total_expansions += expansions;
-    if (expansions > 0) {
-      ++result.routed_count;
-      routed_edges[idx] = std::move(edges);
-      ops.push_back({idx, static_cast<double>(expansions), 0});
-    }
+    initial_span.counter("routed", static_cast<double>(result.routed_count));
   }
 
   // ---- rip-up and reroute ---------------------------------------------------------
   int iteration = 0;
   for (; iteration < options_.max_rrr_iterations; ++iteration) {
+    TRACE_SPAN_VAR(ripup_span, "route/ripup", "route");
+    ripup_span.counter("iteration", iteration);
     // Find overflowed edges, accumulate history.
     std::vector<bool> overflowed(edge_count, false);
     std::size_t overflow_count = 0;
@@ -462,6 +471,8 @@ RoutingResult GridRouter::run(const Netlist& netlist,
       }
     }
     result.overflowed_edges = overflow_count;
+    ripup_span.counter("overflowed_edges",
+                       static_cast<double>(overflow_count));
     if (overflow_count == 0) break;
 
     // Rip up every connection crossing an overflowed edge; reroute.

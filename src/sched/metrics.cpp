@@ -94,6 +94,41 @@ FleetMetrics MetricsCollector::finalize(double arrival_window_seconds,
   return m;
 }
 
+void FleetMetrics::export_to(obs::Registry& registry,
+                             const obs::Labels& labels) const {
+  const auto qualified = [](const char* name) {
+    std::string full = "fleet.";
+    full += name;
+    return full;
+  };
+  const auto count = [&](const char* name, std::uint64_t value) {
+    registry.counter(qualified(name), labels).add(value);
+  };
+  const auto set = [&](const char* name, double value) {
+    registry.gauge(qualified(name), labels).set(value);
+  };
+  count("jobs_submitted", jobs_submitted);
+  count("jobs_completed", jobs_completed);
+  count("tasks_dispatched", tasks_dispatched);
+  count("preemptions", preemptions);
+  count("slo_violations", slo_violations);
+  set("arrival_window_seconds", arrival_window_seconds);
+  set("drained_at_seconds", drained_at_seconds);
+  set("latency_p50_seconds", latency_p50);
+  set("latency_p95_seconds", latency_p95);
+  set("latency_p99_seconds", latency_p99);
+  set("mean_latency_seconds", mean_latency);
+  set("mean_queue_wait_seconds", mean_queue_wait);
+  set("slowdown_p99", slowdown_p99);
+  set("slo_violation_rate", slo_violation_rate);
+  set("utilization", utilization);
+  set("total_cost_usd", total_cost_usd);
+  set("cost_per_job_usd", cost_per_job_usd);
+  set("peak_vms", static_cast<double>(peak_vms));
+  set("vms_launched", static_cast<double>(vms_launched));
+  set("throughput_per_hour", throughput_per_hour);
+}
+
 std::string FleetMetrics::render() const {
   util::Table table({"Metric", "Value"});
   table.add_row({"jobs submitted",
@@ -113,9 +148,12 @@ std::string FleetMetrics::render() const {
   table.add_row({"SLO violation rate",
                  util::format_percent(slo_violation_rate, 1)});
   table.add_row({"fleet utilization", util::format_percent(utilization, 1)});
-  table.add_row({"fleet cost", "$" + util::format_fixed(total_cost_usd, 2)});
-  table.add_row({"cost per job",
-                 "$" + util::format_fixed(cost_per_job_usd, 4)});
+  std::string cost = "$";
+  cost += util::format_fixed(total_cost_usd, 2);
+  table.add_row({"fleet cost", cost});
+  std::string per_job = "$";
+  per_job += util::format_fixed(cost_per_job_usd, 4);
+  table.add_row({"cost per job", per_job});
   table.add_row({"peak VMs", std::to_string(peak_vms)});
   table.add_row({"VMs launched", std::to_string(vms_launched)});
   table.add_row({"throughput/h", util::format_fixed(throughput_per_hour, 1)});

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/job.hpp"
 
 namespace edacloud::sched {
@@ -46,6 +47,12 @@ struct FleetMetrics {
 
   /// Two-column summary table for the CLI.
   [[nodiscard]] std::string render() const;
+
+  /// Absorb this run into the unified metrics registry as fleet.* counters
+  /// and gauges under `labels` (e.g. {{"policy","cost"},{"mix","bursty"}}).
+  /// This is the machine-readable path — `fleet-sim --metrics` and the
+  /// bench drivers export the registry instead of scraping render().
+  void export_to(obs::Registry& registry, const obs::Labels& labels = {}) const;
 };
 
 /// Accumulates per-job and per-task samples during a run, then finalizes

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace edacloud::sched {
 
 namespace {
@@ -11,6 +13,23 @@ namespace {
 std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
   std::uint64_t state = seed ^ (salt * 0x9E3779B97F4A7C15ULL);
   return util::splitmix64(state);
+}
+
+/// One finished (or preempted) task attempt as a trace span on the VM's
+/// lane. Everything is simulated time, so same-seed runs emit identical
+/// spans; lanes are VM ids, which Perfetto renders as one track per VM.
+void trace_task_attempt(const Job& job, const VmInstance& vm, int vm_id,
+                        double now, bool preempted) {
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (!tracer.enabled()) return;
+  std::vector<obs::TraceArg> args = {
+      {"job", static_cast<double>(job.id)},
+      {"preempted", preempted ? 1.0 : 0.0},
+  };
+  tracer.emit_complete(
+      "task/" + core::job_name(static_cast<core::JobKind>(job.stage)),
+      "fleet", vm.run_start * 1e6, (now - vm.run_start) * 1e6,
+      static_cast<std::uint32_t>(vm_id), std::move(args));
 }
 
 }  // namespace
@@ -52,9 +71,14 @@ FleetMetrics FleetSimulator::run() {
           ? config_.duration_seconds + config_.drain_limit_seconds
           : 0.0;
 
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool virtual_clock =
+      tracer.enabled() && tracer.clock_mode() == obs::ClockMode::kVirtual;
+
   while (!events_.empty()) {
     const Event event = events_.pop();
     now_ = event.time;
+    if (virtual_clock) tracer.set_virtual_time_seconds(now_);
     if (hard_stop > 0.0 && now_ > hard_stop) break;
     switch (event.type) {
       case EventType::kJobArrival:
@@ -111,6 +135,7 @@ void FleetSimulator::handle_boot(const Event& event) {
 void FleetSimulator::handle_task_complete(const Event& event) {
   VmInstance& vm = fleet_.vm(event.vm_id);
   Job& job = jobs_.at(event.job_id);
+  trace_task_attempt(job, vm, event.vm_id, now_, /*preempted=*/false);
 
   const double service = vm.run_service;
   double cost = config_.fleet.catalog.job_cost_usd(vm.pool.family,
@@ -135,6 +160,7 @@ void FleetSimulator::handle_task_complete(const Event& event) {
 void FleetSimulator::handle_spot_interruption(const Event& event) {
   Job& job = jobs_.at(event.job_id);
   VmInstance& vm = fleet_.vm(event.vm_id);
+  trace_task_attempt(job, vm, event.vm_id, now_, /*preempted=*/true);
 
   // Credit the survivable part of the attempt: of the fraction of the stage
   // this attempt covered, restart_overhead_fraction is lost on restart.
@@ -204,6 +230,8 @@ void FleetSimulator::enqueue_stage(const Job& job) {
   task.preferred = plans_.at(job.id)[job.stage];
   task.seq = next_task_seq_++;
   queue_.push_back(task);
+  obs::Tracer::global().emit_counter("fleet/queue_depth", now_ * 1e6,
+                                     static_cast<double>(queue_.size()));
 }
 
 void FleetSimulator::dispatch() {
@@ -224,6 +252,8 @@ void FleetSimulator::start_task(int vm_id, const TaskRef& task) {
   VmInstance& vm = fleet_.vm(vm_id);
   const double service = service_seconds(job, vm);
   fleet_.assign(vm_id, job.id, now_, service);
+  obs::Tracer::global().emit_counter("fleet/queue_depth", now_ * 1e6,
+                                     static_cast<double>(queue_.size()));
   if (job.first_dispatch_time < 0.0) job.first_dispatch_time = now_;
   metrics_.record_dispatch(now_ - task.enqueue_time);
 

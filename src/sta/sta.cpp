@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "perf/instrument.hpp"
 
 namespace edacloud::sta {
@@ -37,8 +38,10 @@ TimingReport StaEngine::run(const Netlist& netlist,
     ins = &instrument_storage;
   }
 
+  TRACE_SPAN_VAR(run_span, "sta/run", "sta");
   const auto& library = netlist.library();
   const std::size_t n = netlist.node_count();
+  run_span.counter("nodes", static_cast<double>(n));
   const auto order = netlist.topological_order();
   const auto fanout = netlist.build_fanout_csr();
 
@@ -92,6 +95,8 @@ TimingReport StaEngine::run(const Netlist& netlist,
   // ---- forward sweep: arrival times -----------------------------------------
   report.worst_parent.assign(n, nl::kInvalidNode);
   std::vector<nl::NodeId>& critical_parent = report.worst_parent;
+  {
+  TRACE_SPAN("sta/arrival", "sta");
   for (NodeId id : order) {
     const auto& node = netlist.node(id);
     if (ins != nullptr) {
@@ -148,6 +153,7 @@ TimingReport StaEngine::run(const Netlist& netlist,
       ins->store(kArrivalBase + static_cast<std::uint64_t>(id) * 8);
     }
   }
+  }  // sta/arrival
 
   // Critical path + clock period.
   for (NodeId id : netlist.outputs()) {
@@ -161,6 +167,8 @@ TimingReport StaEngine::run(const Netlist& netlist,
 
   // ---- backward sweep: required times / slacks --------------------------------
   std::vector<double> required(n, std::numeric_limits<double>::infinity());
+  {
+  TRACE_SPAN("sta/required", "sta");
   for (NodeId id : netlist.outputs()) required[id] = report.clock_period_ps;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId id = *it;
@@ -199,10 +207,13 @@ TimingReport StaEngine::run(const Netlist& netlist,
         std::isinf(required[id]) ? report.clock_period_ps
                                  : required[id] - report.arrival_ps[id];
   }
+  }  // sta/required
 
   // ---- power report ------------------------------------------------------
   // Leakage: straight library sum. Dynamic: alpha * C * V^2 * f with the
   // clock derived above (fF * V^2 * GHz = uW).
+  {
+  TRACE_SPAN("sta/power", "sta");
   const double frequency_ghz =
       report.clock_period_ps > 0.0 ? 1000.0 / report.clock_period_ps : 0.0;
   for (NodeId id = 0; id < n; ++id) {
@@ -214,6 +225,7 @@ TimingReport StaEngine::run(const Netlist& netlist,
                                options_.supply_voltage * frequency_ghz *
                                1e-3;
   }
+  }  // sta/power
 
   report.endpoint_count = netlist.outputs().size();
   report.worst_slack_ps = std::numeric_limits<double>::infinity();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace edacloud::synth {
 
 using nl::Aig;
@@ -78,27 +80,42 @@ SynthesisResult SynthesisEngine::run(
     const std::vector<perf::VmConfig>& configs) const {
   perf::Instrument instrument =
       configs.empty() ? perf::Instrument() : perf::Instrument(configs);
+  TRACE_SPAN_VAR(run_span, "synth/run", "synth");
 
-  Aig current = cleanup(input);
+  Aig current = [&] {
+    TRACE_SPAN("synth/cleanup", "synth");
+    return cleanup(input);
+  }();
   int pass_count = 1;  // cleanup
-  for (int pass = 0; pass < recipe.rewrite_passes; ++pass) {
-    current = rewrite(current, &instrument);
-    ++pass_count;
+  {
+    TRACE_SPAN_VAR(span, "synth/rewrite", "synth");
+    span.counter("passes", recipe.rewrite_passes);
+    for (int pass = 0; pass < recipe.rewrite_passes; ++pass) {
+      current = rewrite(current, &instrument);
+      ++pass_count;
+    }
   }
   if (recipe.balance) {
+    TRACE_SPAN("synth/balance", "synth");
     current = balance(current, &instrument);
     ++pass_count;
   }
 
-  SynthesisResult result{mapper_.map(current, recipe.mode, &instrument),
-                         current.and_count(), current.depth(),
-                         perf::JobProfile{}};
+  SynthesisResult result = [&] {
+    TRACE_SPAN("synth/map", "synth");
+    return SynthesisResult{mapper_.map(current, recipe.mode, &instrument),
+                           current.and_count(), current.depth(),
+                           perf::JobProfile{}};
+  }();
   if (recipe.fuse) {
+    TRACE_SPAN("synth/fuse", "synth");
     result.mapped.netlist = fuse_inverters(result.mapped.netlist);
     const auto stats = result.mapped.netlist.stats();
     result.mapped.cell_count = stats.instance_count;
     result.mapped.mapped_area_um2 = stats.total_area_um2;
   }
+  run_span.counter("and_nodes", static_cast<double>(current.and_count()));
+  run_span.counter("cells", static_cast<double>(result.mapped.cell_count));
 
   // ---- task graph: optimization passes + mapping DP -------------------------
   const auto histogram = level_histogram(current);

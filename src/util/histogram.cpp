@@ -1,6 +1,7 @@
 #include "util/histogram.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "util/strings.hpp"
@@ -8,9 +9,12 @@
 namespace edacloud::util {
 
 Histogram::Histogram(double lo, double hi, std::size_t bin_count)
-    : lo_(lo), hi_(hi), counts_(bin_count == 0 ? 1 : bin_count, 0) {}
+    : lo_(std::min(lo, hi)),
+      hi_(std::max(lo, hi)),
+      counts_(bin_count == 0 ? 1 : bin_count, 0) {}
 
 void Histogram::add(double value) {
+  if (std::isnan(value)) return;  // casting NaN to a bin index is UB
   const double span = hi_ - lo_;
   long bin = 0;
   if (span > 0.0) {
@@ -27,8 +31,8 @@ void Histogram::add_all(const std::vector<double>& values) {
 }
 
 double Histogram::quantile(double q) const {
-  if (total_ == 0) return lo_;
-  q = std::clamp(q, 0.0, 1.0);
+  if (total_ == 0 || std::isnan(q)) return lo_;
+  q = std::clamp(q, 0.0, 1.0);  // out-of-range q saturates to min/max
   const double target = q * static_cast<double>(total_);
   double cumulative = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {

@@ -10,8 +10,10 @@ namespace edacloud::util {
 class Histogram {
  public:
   /// Bins span [lo, hi) uniformly; values outside clamp to the edge bins.
+  /// Inverted bounds are swapped; a zero-width span degenerates to one bin.
   Histogram(double lo, double hi, std::size_t bin_count);
 
+  /// NaN values are ignored (not counted).
   void add(double value);
   void add_all(const std::vector<double>& values);
 
@@ -26,7 +28,7 @@ class Histogram {
   /// Quantile q in [0, 1] with linear interpolation inside the containing
   /// bin (the standard binned-quantile estimate: walk the cumulative counts
   /// to the bin holding rank q*total, then interpolate across its span).
-  /// Returns `lo` for an empty histogram.
+  /// Returns `lo` for an empty histogram or NaN q; out-of-range q clamps.
   [[nodiscard]] double quantile(double q) const;
 
   /// Horizontal bar chart, one line per bin.

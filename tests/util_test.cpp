@@ -246,6 +246,56 @@ TEST(HistogramTest, BinEdges) {
 TEST(HistogramTest, QuantileEmptyReturnsLowerBound) {
   Histogram h(2.0, 10.0, 4);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, QuantileSingleSample) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(2.5);  // bin 2: [2, 3)
+  // With one sample every quantile lands inside its bin; the estimate
+  // interpolates across the bin span and must stay within it.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), 2.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 3.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(HistogramTest, QuantileOutOfRangeQClamps) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.25);
+  h.add(0.75);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), 0.0);
+}
+
+TEST(HistogramTest, IgnoresNanSamples) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 0u);
+  h.add(0.5);
+  h.add(std::nan(""));
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(HistogramTest, InvertedBoundsAreSwapped) {
+  Histogram h(10.0, 0.0, 5);  // same as Histogram(0, 10, 5)
+  h.add(1.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(HistogramTest, ZeroWidthSpanDegeneratesToOneValue) {
+  Histogram h(5.0, 5.0, 3);
+  h.add(5.0);
+  h.add(7.0);  // clamps into the degenerate span
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
 }
 
 TEST(HistogramTest, QuantileInterpolatesWithinBin) {
