@@ -12,6 +12,7 @@
 #include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edacloud::bench {
 
@@ -31,6 +32,23 @@ inline std::string flag_value(int argc, char** argv,
     if (std::string(argv[i]) == flag) return argv[i + 1];
   }
   return "";
+}
+
+/// --threads N on any bench driver: widen the global pool so the parallel
+/// stage engines (routing, STA, GCN kernels) use N workers. Every result is
+/// bit-identical at any value; only host wall time changes. Returns the
+/// effective count (1 when the flag is absent or invalid).
+inline int apply_threads(int argc, char** argv) {
+  const std::string value = flag_value(argc, argv, "--threads");
+  if (value.empty()) return util::global_thread_count();
+  const int n = std::atoi(value.c_str());
+  if (n < 1) {
+    EDACLOUD_WARN << "--threads wants a positive integer, got '" << value
+                  << "'; keeping " << util::global_thread_count();
+    return util::global_thread_count();
+  }
+  util::set_global_thread_count(n);
+  return n;
 }
 
 /// --trace F / --metrics F on any bench driver: enables the global tracer

@@ -36,6 +36,7 @@
 #include "sta/sta.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/registry.hpp"
 
@@ -50,6 +51,7 @@ int usage() {
                "  edacloud_cli synth <in.aag> [--recipe NAME] [--verilog F]\n"
                "  edacloud_cli flow  <family> <size> [--trace F] "
                "[--metrics F]\n"
+               "                     [--threads N]\n"
                "  edacloud_cli plan  <family> <size> <deadline_s> [--spot]\n"
                "  edacloud_cli lib   [--out F]\n"
                "  edacloud_cli fleet-sim [--arrival-rate JOBS_PER_HOUR]\n"
@@ -181,7 +183,20 @@ int cmd_flow(const std::vector<std::string>& args) {
 
   const nl::Aig aig = generate_or_die(args[0], std::atoi(args[1].c_str()));
   const nl::CellLibrary library = nl::make_generic_14nm_library();
-  core::EdaFlow flow(library);
+  core::FlowOptions flow_options;
+  const std::string threads = flag_value(args, "--threads");
+  if (!threads.empty()) {
+    // Results are bit-identical at any thread count; this only changes how
+    // fast the parallel stages (routing, STA) run on this host.
+    const int n = std::atoi(threads.c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return 2;
+    }
+    util::set_global_thread_count(n);
+    flow_options.threads = n;
+  }
+  core::EdaFlow flow(library, flow_options);
   const auto result = flow.run(aig, configs);
   const auto stats = result.synthesis.mapped.netlist.stats();
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain Release build and an ASan+UBSan build.
+# Tier-1 verification, three times: a plain Release build, an ASan+UBSan
+# build, and a TSan build running the concurrency-heavy suites (the thread
+# pool and the parallel stage engines behind it).
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitized pass (plain build + tests only)
+#   --fast   skip the sanitized passes (plain build + tests only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -55,6 +57,16 @@ trace_smoke
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
+
+  # TSan leg: only the suites that exercise the thread pool and the parallel
+  # engines — TSan slows everything ~10x, so the serial suites stay out.
+  echo "=== tsan: configure (build-tsan) ==="
+  cmake -B build-tsan -S . -DEDACLOUD_SANITIZE=tsan
+  echo "=== tsan: build ==="
+  cmake --build build-tsan -j
+  echo "=== tsan: ctest (concurrency suites) ==="
+  (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
+    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest')
 fi
 
 echo "=== all passes green ==="

@@ -47,6 +47,11 @@ struct FlowOptions {
   sta::StaOptions sta;
   perf::RuntimeModelParams runtime_model;
   FlowCalibration calibration;
+  /// Worker threads for the parallel stage engines (routing, STA). 0 keeps
+  /// each stage's own option (which defaults to the global pool width);
+  /// any other value overrides stage options that are still 0. Results are
+  /// bit-identical at every thread count — see DESIGN.md.
+  int threads = 0;
 };
 
 struct FlowResult {
@@ -59,6 +64,10 @@ struct FlowResult {
   // Derived measurements (counter rates, runtimes, speedups) per job,
   // evaluated against the configs the flow was run with.
   std::array<perf::JobMeasurement, kJobCount> measurements;
+  // Host wall-clock per stage (seconds). Unlike the modeled runtimes above,
+  // these are real measurements on this machine — the basis of the
+  // measured-vs-modeled scaling comparison (Characterizer::measured_scaling).
+  std::array<double, kJobCount> stage_wall_seconds = {};
 
   [[nodiscard]] const perf::JobMeasurement& measurement(JobKind job) const {
     return measurements[static_cast<int>(job)];

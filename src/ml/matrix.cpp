@@ -3,53 +3,84 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace edacloud::ml {
+
+namespace {
+
+// Row-blocked parallelism over the global pool. Output rows are disjoint
+// and each element's accumulation order is unchanged from the serial loop,
+// so results are bit-identical at any thread count. Small products stay
+// serial: the GCN trains on lots of tiny matrices where dispatch overhead
+// would dominate.
+constexpr std::size_t kRowGrain = 16;
+constexpr std::size_t kSerialFlopCutoff = 1 << 15;
+
+int threads_for(std::size_t flops) {
+  return flops < kSerialFlopCutoff ? 1 : 0;  // 0 = global default width
+}
+
+}  // namespace
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul shape");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double av = arow[k];
-      if (av == 0.0) continue;
-      const double* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-    }
-  }
+  util::parallel_for(
+      threads_for(a.rows() * a.cols() * b.cols()), 0, a.rows(), kRowGrain,
+      [&](std::size_t row_begin, std::size_t row_end, std::size_t, unsigned) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const double* arow = a.row(i);
+          double* crow = c.row(i);
+          for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double av = arow[k];
+            if (av == 0.0) continue;
+            const double* brow = b.row(k);
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("matmul_at_b shape");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t n = 0; n < a.rows(); ++n) {
-    const double* arow = a.row(n);
-    const double* brow = b.row(n);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Parallel over output rows (columns of A): each C row accumulates over n
+  // ascending, the same per-element order as the classic scatter loop.
+  util::parallel_for(
+      threads_for(a.rows() * a.cols() * b.cols()), 0, a.cols(), kRowGrain,
+      [&](std::size_t row_begin, std::size_t row_end, std::size_t, unsigned) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          double* crow = c.row(i);
+          for (std::size_t n = 0; n < a.rows(); ++n) {
+            const double av = a.row(n)[i];
+            if (av == 0.0) continue;
+            const double* brow = b.row(n);
+            for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols()) throw std::invalid_argument("matmul_a_bt shape");
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.row(i);
-    double* crow = c.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.row(j);
-      double acc = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      crow[j] = acc;
-    }
-  }
+  util::parallel_for(
+      threads_for(a.rows() * a.cols() * b.rows()), 0, a.rows(), kRowGrain,
+      [&](std::size_t row_begin, std::size_t row_end, std::size_t, unsigned) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const double* arow = a.row(i);
+          double* crow = c.row(i);
+          for (std::size_t j = 0; j < b.rows(); ++j) {
+            const double* brow = b.row(j);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+            crow[j] = acc;
+          }
+        }
+      });
   return c;
 }
 
@@ -89,22 +120,32 @@ Matrix aggregate_mean(const nl::Csr& in_csr, const Matrix& features) {
     throw std::invalid_argument("aggregate shape");
   }
   Matrix out(features.rows(), features.cols());
-  for (nl::VertexId v = 0; v < in_csr.vertex_count(); ++v) {
-    const auto [begin, end] = in_csr.range(v);
-    if (begin == end) continue;
-    const double inv = 1.0 / static_cast<double>(end - begin);
-    double* orow = out.row(v);
-    for (std::uint32_t e = begin; e < end; ++e) {
-      const double* frow = features.row(in_csr.targets[e]);
-      for (std::size_t j = 0; j < features.cols(); ++j) {
-        orow[j] += inv * frow[j];
-      }
-    }
-  }
+  // Gather form: each output row reads its own in-edge list, so vertices
+  // fan out across the pool race-free with unchanged accumulation order.
+  util::parallel_for(
+      threads_for(in_csr.edge_count() * features.cols()), 0,
+      in_csr.vertex_count(), kRowGrain,
+      [&](std::size_t row_begin, std::size_t row_end, std::size_t, unsigned) {
+        for (std::size_t i = row_begin; i < row_end; ++i) {
+          const nl::VertexId v = static_cast<nl::VertexId>(i);
+          const auto [begin, end] = in_csr.range(v);
+          if (begin == end) continue;
+          const double inv = 1.0 / static_cast<double>(end - begin);
+          double* orow = out.row(v);
+          for (std::uint32_t e = begin; e < end; ++e) {
+            const double* frow = features.row(in_csr.targets[e]);
+            for (std::size_t j = 0; j < features.cols(); ++j) {
+              orow[j] += inv * frow[j];
+            }
+          }
+        }
+      });
   return out;
 }
 
 Matrix aggregate_mean_backward(const nl::Csr& in_csr, const Matrix& grad_out) {
+  // Scatter over edge targets — rows collide across vertices, so this stays
+  // serial (it is a small fraction of GCN backprop time).
   Matrix grad_in(grad_out.rows(), grad_out.cols());
   for (nl::VertexId v = 0; v < in_csr.vertex_count(); ++v) {
     const auto [begin, end] = in_csr.range(v);

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edacloud::obs {
 
@@ -127,6 +128,12 @@ void Tracer::emit_counter(std::string_view name, double ts_us, double value) {
 }
 
 std::uint32_t Tracer::thread_lane() {
+  // Pool workers get a deterministic lane derived from their slot instead
+  // of a registration-order one: pools can be torn down and recreated at a
+  // different width mid-process, and counter-based lanes would then pile
+  // replacement workers onto fresh ids (or collide with external threads).
+  const int slot = util::this_thread_pool_slot();
+  if (slot > 0) return kPoolLaneBase + static_cast<std::uint32_t>(slot) - 1;
   if (!t_lane_assigned) {
     std::lock_guard<std::mutex> lock(mutex_);
     t_lane = next_lane_++;

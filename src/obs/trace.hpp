@@ -69,8 +69,16 @@ class Tracer {
   /// Record a counter sample (rendered as a stacked area track).
   void emit_counter(std::string_view name, double ts_us, double value);
 
-  /// Stable small integer id for the calling host thread (registration
-  /// order). Lane 0 is always the first thread that traced anything.
+  /// Lanes at or above this value belong to util::ThreadPool workers:
+  /// lane = kPoolLaneBase + (pool slot - 1). Pool lanes are a pure function
+  /// of the worker's slot, so traces stay stable across pool recreations
+  /// and thread counts; external threads keep registration-order lanes
+  /// below the base.
+  static constexpr std::uint32_t kPoolLaneBase = 1000;
+
+  /// Stable small integer id for the calling host thread. External threads
+  /// get lanes in registration order (lane 0 is the first thread that
+  /// traced anything); pool workers map to kPoolLaneBase + slot - 1.
   [[nodiscard]] std::uint32_t thread_lane();
 
   /// Events recorded so far (copy; for tests and programmatic inspection).

@@ -17,6 +17,7 @@
 #include "perf/branch_sim.hpp"
 #include "perf/cache_sim.hpp"
 #include "perf/counters.hpp"
+#include "perf/event_log.hpp"
 #include "perf/vm.hpp"
 
 namespace edacloud::perf {
@@ -56,6 +57,12 @@ class Instrument {
     ++loads_;
     on_memory_private(address, stream);
   }
+
+  /// Feed a recorded event stream back in, in its recorded order. Parallel
+  /// engine sections log into per-task perf::EventLogs and replay them here
+  /// serially in a thread-count-independent order (see event_log.hpp), so
+  /// the stateful simulators produce identical totals at any thread count.
+  void replay(const EventLog& log);
 
   void int_ops(std::uint64_t n) { int_ops_ += enabled() ? n : 0; }
   void fp_ops(std::uint64_t n) { fp_ops_ += enabled() ? n : 0; }

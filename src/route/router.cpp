@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <queue>
 
 #include "obs/trace.hpp"
+#include "perf/event_log.hpp"
 #include "perf/instrument.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edacloud::route {
 
@@ -124,15 +127,17 @@ struct GridState {
 
 /// L-pattern router: try the two one-bend paths between source and
 /// target; accept the first whose edges all sit below the congestion
-/// limit. Returns the edge list (empty = no acceptable pattern).
+/// limit. Read-only against the grid (usage is bumped by the caller's
+/// commit phase) and therefore safe to share across routing workers;
+/// instrumentation events go to the per-attempt log for ordered replay.
 class PatternRouter {
  public:
-  PatternRouter(GridState& state, const RouterOptions& options,
-                Instrument* ins)
-      : state_(state), options_(options), ins_(ins) {}
+  PatternRouter(const GridState& state, const RouterOptions& options)
+      : state_(state), options_(options) {}
 
   bool route(const Connection& connection,
-             std::vector<std::uint32_t>& edges_out) {
+             std::vector<std::uint32_t>& edges_out,
+             perf::EventLog* log) const {
     const int grid = state_.grid;
     const int sx = static_cast<int>(connection.source % grid);
     const int sy = static_cast<int>(connection.source / grid);
@@ -141,16 +146,15 @@ class PatternRouter {
     // Pattern 1: horizontal first; pattern 2: vertical first.
     for (int bend = 0; bend < 2; ++bend) {
       std::vector<std::uint32_t> edges;
-      const bool ok = bend == 0 ? trace(sx, sy, tx, sy, edges) &&
-                                      trace(tx, sy, tx, ty, edges)
-                                : trace(sx, sy, sx, ty, edges) &&
-                                      trace(sx, ty, tx, ty, edges);
-      if (ins_ != nullptr) ins_->branch(kGridBase ^ 0x8, ok);
+      const bool ok = bend == 0 ? trace(sx, sy, tx, sy, edges, log) &&
+                                      trace(tx, sy, tx, ty, edges, log)
+                                : trace(sx, sy, sx, ty, edges, log) &&
+                                      trace(sx, ty, tx, ty, edges, log);
+      if (log != nullptr) log->branch(kGridBase ^ 0x8, ok);
       if (ok) {
-        for (std::uint32_t edge : edges) {
-          ++state_.usage[edge];
-          if (ins_ != nullptr) {
-            ins_->store(kGridBase + static_cast<std::uint64_t>(edge) * 48);
+        if (log != nullptr) {
+          for (std::uint32_t edge : edges) {
+            log->store(kGridBase + static_cast<std::uint64_t>(edge) * 48);
           }
         }
         edges_out = std::move(edges);
@@ -164,7 +168,7 @@ class PatternRouter {
   /// Append the straight segment (x0,y0)->(x1,y1); false if any edge is
   /// too congested (axis-aligned segments only).
   bool trace(int x0, int y0, int x1, int y1,
-             std::vector<std::uint32_t>& edges) {
+             std::vector<std::uint32_t>& edges, perf::EventLog* log) const {
     const int dx = x1 > x0 ? 1 : (x1 < x0 ? -1 : 0);
     const int dy = y1 > y0 ? 1 : (y1 < y0 ? -1 : 0);
     int x = x0, y = y0;
@@ -172,9 +176,9 @@ class PatternRouter {
       const int nx = x + dx;
       const int ny = y + dy;
       const int edge = state_.edge_between(x, y, nx, ny);
-      if (ins_ != nullptr) {
-        ins_->load(kGridBase + static_cast<std::uint64_t>(edge) * 48);
-        ins_->int_ops(4);
+      if (log != nullptr) {
+        log->load(kGridBase + static_cast<std::uint64_t>(edge) * 48);
+        log->int_ops(4);
       }
       const double limit = options_.pattern_congestion_limit *
                            static_cast<double>(state_.capacity[edge]);
@@ -188,15 +192,17 @@ class PatternRouter {
     return true;
   }
 
-  GridState& state_;
+  const GridState& state_;
   const RouterOptions& options_;
-  Instrument* ins_;
 };
 
+/// Congestion-aware A* over the grid. Read-only against the grid state
+/// (commit bumps usage), with per-instance scratch arrays — each worker
+/// slot owns one Maze, so searches run concurrently without sharing.
 class Maze {
  public:
-  Maze(GridState& state, const RouterOptions& options, Instrument* ins)
-      : state_(state), options_(options), ins_(ins) {
+  Maze(const GridState& state, const RouterOptions& options)
+      : state_(state), options_(options) {
     const std::size_t cells =
         static_cast<std::size_t>(state.grid) * state.grid;
     g_cost_.assign(cells, 0.0f);
@@ -208,7 +214,7 @@ class Maze {
   /// Appends the used edges to `edges_out`; returns expansions (0 = fail).
   std::uint64_t route(const Connection& connection,
                       std::vector<std::uint32_t>& edges_out,
-                      std::uint32_t stream) {
+                      std::uint32_t stream, perf::EventLog* log) {
     ++epoch_;
     stream_ = stream;
     const int grid = state_.grid;
@@ -239,27 +245,27 @@ class Maze {
       const auto [f, cell] = open.top();
       open.pop();
       ++expansions;
-      if (ins_ != nullptr) {
-        ins_->load_private(kHeapBase + (expansions % 1024) * 16, stream_);
-        ins_->int_ops(14);
+      if (log != nullptr) {
+        log->load_private(kHeapBase + (expansions % 1024) * 16, stream_);
+        log->int_ops(14);
         // Priority-queue sift comparisons: direction depends on the cost
         // values of near-equal keys — effectively unpredictable,
         // data-dependent branches.
         const std::uint64_t h =
             (static_cast<std::uint64_t>(cell) * 0x9E3779B97F4A7C15ULL) ^
             static_cast<std::uint64_t>(f * 16384.0f);
-        ins_->branch(kHeapBase ^ 0x6, ((h >> 13) & 1) != 0);
-        ins_->branch(kHeapBase ^ 0x7, ((h >> 27) & 1) != 0);
+        log->branch(kHeapBase ^ 0x6, ((h >> 13) & 1) != 0);
+        log->branch(kHeapBase ^ 0x7, ((h >> 27) & 1) != 0);
       }
       const int x = static_cast<int>(cell % grid);
       const int y = static_cast<int>(cell / grid);
       const bool reached = cell == connection.target;
-      if (ins_ != nullptr) ins_->branch(kGridBase ^ 0x1, reached);
+      if (log != nullptr) log->branch(kGridBase ^ 0x1, reached);
       if (reached) break;
       // Stale-entry skip (lazy-deletion A*): data-dependent branch.
       const float here = cost_of(cell);
       const bool stale = f - heuristic(x, y) > here + 1e-4f;
-      if (ins_ != nullptr) ins_->branch(kGridBase ^ 0x2, stale);
+      if (log != nullptr) log->branch(kGridBase ^ 0x2, stale);
       if (stale) continue;
 
       constexpr int kDx[4] = {1, -1, 0, 0};
@@ -282,15 +288,15 @@ class Maze {
         const std::uint32_t neighbor =
             static_cast<std::uint32_t>(ny) * grid + nx;
         const bool improves = candidate < cost_of(neighbor) - 1e-5f;
-        if (ins_ != nullptr) {
+        if (log != nullptr) {
           // The defining routing signature: per-neighbor grid-state loads
           // and an improvement test whose outcome is data-dependent.
-          ins_->load(kGridBase + static_cast<std::uint64_t>(edge) * 48);
-          ins_->load_private(
+          log->load(kGridBase + static_cast<std::uint64_t>(edge) * 48);
+          log->load_private(
               kCostBase + static_cast<std::uint64_t>(neighbor) * 16, stream_);
-          ins_->branch(kGridBase ^ 0x3, improves);
-          ins_->int_ops(8);
-          ins_->fp_ops(3);
+          log->branch(kGridBase ^ 0x3, improves);
+          log->int_ops(8);
+          log->fp_ops(3);
         }
         if (improves) {
           set_cost(neighbor, candidate, cell);
@@ -301,7 +307,7 @@ class Maze {
 
     if (cost_of(connection.target) == kInfinity) return 0;
 
-    // Backtrack parents, marking edge usage.
+    // Backtrack parents (usage is bumped when the caller commits the path).
     std::uint32_t cursor = connection.target;
     while (cursor != connection.source) {
       const std::uint32_t prev = parent_[cursor];
@@ -310,10 +316,9 @@ class Maze {
                               static_cast<int>(prev / grid),
                               static_cast<int>(cursor % grid),
                               static_cast<int>(cursor / grid));
-      ++state_.usage[edge];
       edges_out.push_back(static_cast<std::uint32_t>(edge));
-      if (ins_ != nullptr) {
-        ins_->store(kGridBase + static_cast<std::uint64_t>(edge) * 48);
+      if (log != nullptr) {
+        log->store(kGridBase + static_cast<std::uint64_t>(edge) * 48);
       }
       cursor = prev;
     }
@@ -332,9 +337,8 @@ class Maze {
     epoch_of_[cell] = epoch_;
   }
 
-  GridState& state_;
+  const GridState& state_;
   const RouterOptions& options_;
-  Instrument* ins_;
   std::vector<float> g_cost_;
   std::vector<std::uint32_t> epoch_of_;
   std::vector<std::uint32_t> parent_;
@@ -418,35 +422,146 @@ RoutingResult GridRouter::run(const Netlist& netlist,
                         static_cast<std::uint16_t>(options_.edge_capacity));
   state.history.assign(edge_count, 0.0f);
 
-  Maze maze(state, options_, ins);
-  PatternRouter patterns(state, options_, ins);
+  const int threads =
+      options_.threads > 0 ? options_.threads : util::global_thread_count();
+  const int slot_count = util::parallel_slot_count(threads);
+  // One maze per worker slot, built lazily (the scratch arrays are
+  // grid-sized). A slot is only ever driven by one thread at a time.
+  std::vector<std::unique_ptr<Maze>> mazes(
+      static_cast<std::size_t>(slot_count));
+  auto maze_for = [&](unsigned slot) -> Maze& {
+    auto& maze = mazes[slot];
+    if (!maze) maze = std::make_unique<Maze>(state, options_);
+    return *maze;
+  };
+
+  const PatternRouter patterns(state, options_);
   std::vector<std::vector<std::uint32_t>> routed_edges(connections.size());
   std::vector<RouteOp> ops;
   ops.reserve(connections.size());
+
+  // Batched conflict-resolution routing (the TritonRoute/Galois recipe):
+  // each round routes every pending connection in parallel against a frozen
+  // grid, then commits serially in pending order. A path whose coarse
+  // region overlaps an earlier commit from the same round is deferred and
+  // rerouted next round against the updated grid — so no thread ever
+  // observes a concurrent usage write, and commit order (and with it usage,
+  // history, QoR and the replayed instrumentation stream) depends only on
+  // the connection order, never the thread count. Every round commits at
+  // least the first pending connection; after kMaxBatchRounds the heavily
+  // conflicting stragglers are finished serially against live state.
+  constexpr int kMaxBatchRounds = 6;
+  constexpr std::size_t kBatchGrain = 8;  // fixed: chunking must not depend
+                                          // on the thread count
+  struct Attempt {
+    std::vector<std::uint32_t> edges;
+    std::uint64_t expansions = 0;
+    bool pattern = false;
+    bool routed = false;
+  };
+
+  auto commit = [&](std::uint32_t idx, Attempt&& attempt, int op_iteration,
+                    bool count_routed) {
+    if (count_routed) ++result.routed_count;
+    if (attempt.pattern) ++result.pattern_routed;
+    // Pattern cost: one pass over the path (cheap vs a maze search).
+    ops.push_back({idx,
+                   attempt.pattern
+                       ? static_cast<double>(attempt.edges.size() + 2)
+                       : static_cast<double>(attempt.expansions),
+                   op_iteration});
+    for (std::uint32_t edge : attempt.edges) ++state.usage[edge];
+    routed_edges[idx] = std::move(attempt.edges);
+  };
+
+  // Routes `pending` to completion; returns the number of parallel rounds.
+  auto route_batch = [&](std::vector<std::uint32_t> pending,
+                         bool allow_patterns, int op_iteration,
+                         bool count_routed) {
+    const bool use_patterns = allow_patterns && options_.pattern_route;
+    int rounds = 0;
+    while (!pending.empty() && rounds < kMaxBatchRounds) {
+      ++rounds;
+      const std::size_t n = pending.size();
+      std::vector<Attempt> attempts(n);
+      std::vector<perf::EventLog> logs(ins != nullptr ? n : 0);
+      util::parallel_for(
+          threads, 0, n, kBatchGrain,
+          [&](std::size_t chunk_begin, std::size_t chunk_end, std::size_t,
+              unsigned slot) {
+            Maze& maze = maze_for(slot);
+            for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+              const std::uint32_t idx = pending[i];
+              perf::EventLog* log = ins != nullptr ? &logs[i] : nullptr;
+              Attempt& attempt = attempts[i];
+              if (use_patterns &&
+                  patterns.route(connections[idx], attempt.edges, log)) {
+                attempt.pattern = true;
+                attempt.routed = true;
+                continue;
+              }
+              attempt.expansions =
+                  maze.route(connections[idx], attempt.edges, idx, log);
+              attempt.routed = attempt.expansions > 0;
+            }
+          });
+
+      // Serial deterministic commit.
+      std::vector<std::uint32_t> deferred;
+      BboxMask committed_mask;
+      bool any_committed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        Attempt& attempt = attempts[i];
+        result.total_expansions += attempt.expansions;
+        if (!attempt.routed) continue;  // unroutable: dropped, as in serial
+        const BboxMask mask = make_path_mask(attempt.edges, grid);
+        if (any_committed && committed_mask.overlaps(mask)) {
+          deferred.push_back(pending[i]);
+          continue;
+        }
+        committed_mask.merge(mask);
+        any_committed = true;
+        if (ins != nullptr) ins->replay(logs[i]);
+        commit(pending[i], std::move(attempt), op_iteration, count_routed);
+      }
+      pending = std::move(deferred);
+    }
+
+    // Serial straggler tail against live state (fixed order, deterministic).
+    if (!pending.empty()) {
+      Maze& maze =
+          maze_for(static_cast<unsigned>(util::this_thread_pool_slot()));
+      for (std::uint32_t idx : pending) {
+        perf::EventLog log;
+        perf::EventLog* logp = ins != nullptr ? &log : nullptr;
+        Attempt attempt;
+        if (use_patterns &&
+            patterns.route(connections[idx], attempt.edges, logp)) {
+          attempt.pattern = true;
+          attempt.routed = true;
+        } else {
+          attempt.expansions =
+              maze.route(connections[idx], attempt.edges, idx, logp);
+          attempt.routed = attempt.expansions > 0;
+        }
+        result.total_expansions += attempt.expansions;
+        if (!attempt.routed) continue;
+        if (ins != nullptr) ins->replay(log);
+        commit(idx, std::move(attempt), op_iteration, count_routed);
+      }
+    }
+    return rounds;
+  };
 
   // ---- initial routing ----------------------------------------------------------
   {
     TRACE_SPAN_VAR(initial_span, "route/initial", "route");
     initial_span.counter("connections",
                          static_cast<double>(connections.size()));
-    for (std::uint32_t idx : order) {
-      std::vector<std::uint32_t> edges;
-      if (options_.pattern_route && patterns.route(connections[idx], edges)) {
-        ++result.routed_count;
-        ++result.pattern_routed;
-        // Pattern cost: one pass over the path (cheap vs a maze search).
-        ops.push_back({idx, static_cast<double>(edges.size() + 2), 0});
-        routed_edges[idx] = std::move(edges);
-        continue;
-      }
-      const std::uint64_t expansions = maze.route(connections[idx], edges, idx);
-      result.total_expansions += expansions;
-      if (expansions > 0) {
-        ++result.routed_count;
-        routed_edges[idx] = std::move(edges);
-        ops.push_back({idx, static_cast<double>(expansions), 0});
-      }
-    }
+    initial_span.counter("threads", static_cast<double>(threads));
+    const int rounds = route_batch(order, /*allow_patterns=*/true,
+                                   /*op_iteration=*/0, /*count_routed=*/true);
+    initial_span.counter("batch_rounds", static_cast<double>(rounds));
     initial_span.counter("routed", static_cast<double>(result.routed_count));
   }
 
@@ -475,7 +590,9 @@ RoutingResult GridRouter::run(const Netlist& netlist,
                        static_cast<double>(overflow_count));
     if (overflow_count == 0) break;
 
-    // Rip up every connection crossing an overflowed edge; reroute.
+    // Rip up every connection crossing an overflowed edge, then reroute
+    // the ripped set in batched rounds against the relieved grid.
+    std::vector<std::uint32_t> ripped;
     for (std::uint32_t idx : order) {
       auto& edges = routed_edges[idx];
       if (edges.empty()) continue;
@@ -490,15 +607,12 @@ RoutingResult GridRouter::run(const Netlist& netlist,
       if (!crosses) continue;
       for (std::uint32_t edge : edges) --state.usage[edge];
       edges.clear();
-      std::vector<std::uint32_t> new_edges;
-      const std::uint64_t expansions =
-          maze.route(connections[idx], new_edges, idx);
-      result.total_expansions += expansions;
-      if (expansions > 0) {
-        routed_edges[idx] = std::move(new_edges);
-        ops.push_back({idx, static_cast<double>(expansions), iteration + 1});
-      }
+      ripped.push_back(idx);
     }
+    const int rounds =
+        route_batch(std::move(ripped), /*allow_patterns=*/false,
+                    iteration + 1, /*count_routed=*/false);
+    ripup_span.counter("batch_rounds", static_cast<double>(rounds));
   }
   result.rrr_iterations = iteration;
 

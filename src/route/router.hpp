@@ -6,11 +6,21 @@
 // rerouted with growing history costs until overflow clears (or the
 // iteration budget is spent).
 //
-// Parallelism model: connections whose bounding boxes do not overlap touch
-// disjoint grid state and route concurrently; the engine groups them into
-// waves and emits one task per connection with barriers between waves and
-// rip-up iterations. Large designs produce wide waves (near-linear
-// speedup); small designs cap out — exactly Fig. 3.
+// Parallelism model (modeled): connections whose bounding boxes do not
+// overlap touch disjoint grid state and route concurrently; the engine
+// groups them into waves and emits one task per connection with barriers
+// between waves and rip-up iterations. Large designs produce wide waves
+// (near-linear speedup); small designs cap out — exactly Fig. 3.
+//
+// Parallelism model (measured): with RouterOptions::threads > 1 the engine
+// actually routes in batched conflict-resolution rounds on the shared
+// util::ThreadPool — every pending connection is routed in parallel against
+// a frozen grid, then committed serially in a fixed order; a path whose
+// coarse region overlaps an earlier commit from the same round is deferred
+// to the next round against the updated grid. Commit order — and therefore
+// usage, history, QoR and the replayed perf-event stream — depends only on
+// the connection order, never the thread count, so results are bit-identical
+// at any width.
 
 #include <cstdint>
 #include <vector>
@@ -37,6 +47,10 @@ struct RouterOptions {
   /// (see EXPERIMENTS.md), so the characterization uses the maze router.
   bool pattern_route = false;
   double pattern_congestion_limit = 0.8;  // fraction of edge capacity
+  /// Worker threads for the batched parallel maze search (0 = the global
+  /// default from util::global_thread_count(); 1 = serial). Any value
+  /// produces bit-identical results — see the header comment.
+  int threads = 0;
 };
 
 struct RoutingResult {

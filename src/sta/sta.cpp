@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "obs/trace.hpp"
+#include "perf/event_log.hpp"
 #include "perf/instrument.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edacloud::sta {
 
@@ -42,8 +44,23 @@ TimingReport StaEngine::run(const Netlist& netlist,
   const auto& library = netlist.library();
   const std::size_t n = netlist.node_count();
   run_span.counter("nodes", static_cast<double>(n));
-  const auto order = netlist.topological_order();
   const auto fanout = netlist.build_fanout_csr();
+
+  // Levelization drives both the parallel sweeps and the task graph: all of
+  // a node's fanins sit on strictly lower levels (and all fanouts strictly
+  // higher), so one level is a safe parallel front.
+  const auto levels = netlist.levels();
+  std::uint32_t depth = 0;
+  for (std::uint32_t level : levels) depth = std::max(depth, level);
+  std::vector<std::vector<NodeId>> level_nodes(depth + 1);
+  for (NodeId id = 0; id < n; ++id) level_nodes[levels[id]].push_back(id);
+
+  const int threads =
+      options_.threads > 0 ? options_.threads : util::global_thread_count();
+  run_span.counter("threads", static_cast<double>(threads));
+  // Fixed grain: chunk boundaries (and so event replay order) must be a
+  // function of the level population only, never the thread count.
+  constexpr std::size_t kLevelGrain = 64;
 
   TimingReport report;
   report.arrival_ps.assign(n, 0.0);
@@ -60,7 +77,7 @@ TimingReport StaEngine::run(const Netlist& netlist,
   };
 
   // Output load of a driver: sink pin caps + wire capacitance.
-  auto load_ff = [&](NodeId driver) {
+  auto load_ff = [&](NodeId driver, perf::EventLog* log) {
     double load = 0.0;
     const auto [begin, end] = fanout.range(driver);
     for (std::uint32_t e = begin; e < end; ++e) {
@@ -70,16 +87,16 @@ TimingReport StaEngine::run(const Netlist& netlist,
         load += library.cell(node.cell).input_cap_ff;
       }
       load += wire_um(driver, sink) * library.wire_cap_per_um();
-      if (ins != nullptr) {
-        ins->load(kArrivalBase + static_cast<std::uint64_t>(sink) * 8);
-        ins->fp_ops(3);
+      if (log != nullptr) {
+        log->load(kArrivalBase + static_cast<std::uint64_t>(sink) * 8);
+        log->fp_ops(3);
       }
     }
     return load;
   };
 
   // Elmore-lite wire delay along one driver->sink connection.
-  auto wire_delay_ps = [&](NodeId driver, NodeId sink) {
+  auto wire_delay_ps = [&](NodeId driver, NodeId sink, perf::EventLog* log) {
     const double length = wire_um(driver, sink);
     const double r = library.wire_res_per_um() * length;
     const double c = library.wire_cap_per_um() * length;
@@ -88,69 +105,95 @@ TimingReport StaEngine::run(const Netlist& netlist,
     if (node.kind == nl::NodeKind::kCell) {
       sink_cap = library.cell(node.cell).input_cap_ff;
     }
-    if (ins != nullptr) ins->avx_ops(4);
+    if (log != nullptr) log->avx_ops(4);
     return r * (c * 0.5 + sink_cap);
   };
 
   // ---- forward sweep: arrival times -----------------------------------------
+  // Levels ascend; within a level every node writes only its own arrival /
+  // slew / worst-parent / gate-delay entries and reads only lower levels,
+  // so the level fans out across the pool race-free. Chunk event logs are
+  // replayed in chunk order after each level.
   report.worst_parent.assign(n, nl::kInvalidNode);
   std::vector<nl::NodeId>& critical_parent = report.worst_parent;
+  std::vector<double> gate_delay(n, 0.0);
   {
   TRACE_SPAN("sta/arrival", "sta");
-  for (NodeId id : order) {
-    const auto& node = netlist.node(id);
+  for (const auto& bucket : level_nodes) {
+    if (bucket.empty()) continue;
+    std::vector<perf::EventLog> logs(
+        ins != nullptr
+            ? util::ThreadPool::chunk_count(0, bucket.size(), kLevelGrain)
+            : 0);
+    util::parallel_for(
+        threads, 0, bucket.size(), kLevelGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end, std::size_t chunk,
+            unsigned) {
+          perf::EventLog* log = ins != nullptr ? &logs[chunk] : nullptr;
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            const NodeId id = bucket[i];
+            const auto& node = netlist.node(id);
+            if (log != nullptr) {
+              log->load(kTopoBase + static_cast<std::uint64_t>(id) * 4);
+            }
+            if (node.kind == nl::NodeKind::kPrimaryInput) continue;
+            double worst_input = 0.0;
+            for (NodeId fanin : node.fanins) {
+              const double at =
+                  report.arrival_ps[fanin] + wire_delay_ps(fanin, id, log);
+              const bool is_worst = at > worst_input;
+              if (log != nullptr) {
+                // Fanin arrivals were produced a few levels earlier:
+                // mostly hot.
+                const std::uint64_t addr =
+                    ((id ^ fanin) & 7) != 0
+                        ? kArrivalBase + (fanin % 2048) * 8ULL
+                        : kArrivalBase + static_cast<std::uint64_t>(fanin) * 8;
+                log->load(addr);
+                // The max() compare compiles branchless (maxsd); only the
+                // fanin loop contributes (well-predicted) control flow.
+                log->branch(kArrivalBase ^ 0x1, true);
+                log->fp_ops(2);
+              }
+              if (is_worst) {
+                worst_input = at;
+                critical_parent[id] = fanin;
+              }
+            }
+            double own_delay = 0.0;
+            if (node.kind == nl::NodeKind::kCell) {
+              const auto& cell = library.cell(node.cell);
+              const double load = load_ff(id, log);
+              // Two-parameter NLDM-lite: base delay degraded by the worst
+              // input transition, output slew proportional to drive
+              // strength x load.
+              double worst_slew = 0.0;
+              for (nl::NodeId fanin : node.fanins) {
+                worst_slew = std::max(worst_slew, report.slew_ps[fanin]);
+              }
+              own_delay =
+                  cell.delay_ps(load) + options_.slew_delay_factor * worst_slew;
+              report.slew_ps[id] =
+                  options_.slew_gain * cell.drive_res_kohm * load + 2.0;
+              if (log != nullptr) {
+                // Library row fetch + interpolation (vectorized table math).
+                log->load(kLibraryBase +
+                          static_cast<std::uint64_t>(node.cell) * 64);
+                log->avx_ops(6);
+                log->fp_ops(2);
+              }
+            } else if (node.kind == nl::NodeKind::kPrimaryOutput) {
+              report.slew_ps[id] = report.slew_ps[node.fanins[0]];
+            }
+            gate_delay[id] = own_delay;
+            report.arrival_ps[id] = worst_input + own_delay;
+            if (log != nullptr) {
+              log->store(kArrivalBase + static_cast<std::uint64_t>(id) * 8);
+            }
+          }
+        });
     if (ins != nullptr) {
-      ins->load(kTopoBase + static_cast<std::uint64_t>(id) * 4);
-    }
-    if (node.kind == nl::NodeKind::kPrimaryInput) continue;
-    double worst_input = 0.0;
-    for (NodeId fanin : node.fanins) {
-      const double at =
-          report.arrival_ps[fanin] + wire_delay_ps(fanin, id);
-      const bool is_worst = at > worst_input;
-      if (ins != nullptr) {
-        // Fanin arrivals were produced a few levels earlier: mostly hot.
-        const std::uint64_t addr =
-            ((id ^ fanin) & 7) != 0
-                ? kArrivalBase + (fanin % 2048) * 8ULL
-                : kArrivalBase + static_cast<std::uint64_t>(fanin) * 8;
-        ins->load(addr);
-        // The max() compare compiles branchless (maxsd); only the fanin
-        // loop contributes (well-predicted) control flow.
-        ins->branch(kArrivalBase ^ 0x1, true);
-        ins->fp_ops(2);
-      }
-      if (is_worst) {
-        worst_input = at;
-        critical_parent[id] = fanin;
-      }
-    }
-    double gate_delay = 0.0;
-    if (node.kind == nl::NodeKind::kCell) {
-      const auto& cell = library.cell(node.cell);
-      const double load = load_ff(id);
-      // Two-parameter NLDM-lite: base delay degraded by the worst input
-      // transition, output slew proportional to drive strength x load.
-      double worst_slew = 0.0;
-      for (nl::NodeId fanin : node.fanins) {
-        worst_slew = std::max(worst_slew, report.slew_ps[fanin]);
-      }
-      gate_delay =
-          cell.delay_ps(load) + options_.slew_delay_factor * worst_slew;
-      report.slew_ps[id] =
-          options_.slew_gain * cell.drive_res_kohm * load + 2.0;
-      if (ins != nullptr) {
-        // Library row fetch + interpolation (vectorized table math).
-        ins->load(kLibraryBase + static_cast<std::uint64_t>(node.cell) * 64);
-        ins->avx_ops(6);
-        ins->fp_ops(2);
-      }
-    } else if (node.kind == nl::NodeKind::kPrimaryOutput) {
-      report.slew_ps[id] = report.slew_ps[node.fanins[0]];
-    }
-    report.arrival_ps[id] = worst_input + gate_delay;
-    if (ins != nullptr) {
-      ins->store(kArrivalBase + static_cast<std::uint64_t>(id) * 8);
+      for (const perf::EventLog& log : logs) ins->replay(log);
     }
   }
   }  // sta/arrival
@@ -166,40 +209,54 @@ TimingReport StaEngine::run(const Netlist& netlist,
           : report.critical_path_ps * options_.slack_margin;
 
   // ---- backward sweep: required times / slacks --------------------------------
+  // Phrased as a gather so it parallelizes: every fanout of `id` sits on a
+  // strictly higher level, finalized by an earlier (descending) pass, so
+  // required[id] = min over fanouts is exact and order-independent — the
+  // parallel sweep matches the classic reverse-topological scatter.
   std::vector<double> required(n, std::numeric_limits<double>::infinity());
   {
   TRACE_SPAN("sta/required", "sta");
   for (NodeId id : netlist.outputs()) required[id] = report.clock_period_ps;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodeId id = *it;
-    const auto& node = netlist.node(id);
-    // Propagate required time to fanins through this node's delay.
-    const double own_delay =
-        node.kind == nl::NodeKind::kCell
-            ? report.arrival_ps[id] -
-                  [&] {
-                    double worst = 0.0;
-                    for (NodeId fanin : node.fanins) {
-                      worst = std::max(worst, report.arrival_ps[fanin] +
-                                                  wire_delay_ps(fanin, id));
-                    }
-                    return worst;
-                  }()
-            : 0.0;
-    for (NodeId fanin : node.fanins) {
-      const double req =
-          required[id] - own_delay - wire_delay_ps(fanin, id);
-      const bool tightens = req < required[fanin];
-      if (ins != nullptr) {
-        const std::uint64_t addr =
-            ((id ^ fanin) & 7) != 0
-                ? kArrivalBase + (fanin % 2048) * 8ULL
-                : kArrivalBase + static_cast<std::uint64_t>(fanin) * 8;
-        ins->load(addr);
-        ins->branch(kArrivalBase ^ 0x2, true);  // loop control (min is cmov)
-        ins->avx_ops(3);
-      }
-      if (tightens) required[fanin] = req;
+  for (std::size_t l = level_nodes.size(); l-- > 0;) {
+    const auto& bucket = level_nodes[l];
+    if (bucket.empty()) continue;
+    std::vector<perf::EventLog> logs(
+        ins != nullptr
+            ? util::ThreadPool::chunk_count(0, bucket.size(), kLevelGrain)
+            : 0);
+    util::parallel_for(
+        threads, 0, bucket.size(), kLevelGrain,
+        [&](std::size_t chunk_begin, std::size_t chunk_end, std::size_t chunk,
+            unsigned) {
+          perf::EventLog* log = ins != nullptr ? &logs[chunk] : nullptr;
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+            const NodeId id = bucket[i];
+            const auto [fo_begin, fo_end] = fanout.range(id);
+            double req = required[id];  // clock at POs, +inf elsewhere
+            for (std::uint32_t e = fo_begin; e < fo_end; ++e) {
+              const NodeId consumer = fanout.targets[e];
+              // Propagate the consumer's required time back through its
+              // gate delay and the connecting wire.
+              const double candidate = required[consumer] -
+                                       gate_delay[consumer] -
+                                       wire_delay_ps(id, consumer, log);
+              if (log != nullptr) {
+                const std::uint64_t addr =
+                    ((consumer ^ id) & 7) != 0
+                        ? kArrivalBase + (id % 2048) * 8ULL
+                        : kArrivalBase + static_cast<std::uint64_t>(id) * 8;
+                log->load(addr);
+                log->branch(kArrivalBase ^ 0x2,
+                            true);  // loop control (min is cmov)
+                log->avx_ops(3);
+              }
+              req = std::min(req, candidate);
+            }
+            required[id] = req;
+          }
+        });
+    if (ins != nullptr) {
+      for (const perf::EventLog& log : logs) ins->replay(log);
     }
   }
   for (NodeId id = 0; id < n; ++id) {
@@ -216,14 +273,37 @@ TimingReport StaEngine::run(const Netlist& netlist,
   TRACE_SPAN("sta/power", "sta");
   const double frequency_ghz =
       report.clock_period_ps > 0.0 ? 1000.0 / report.clock_period_ps : 0.0;
-  for (NodeId id = 0; id < n; ++id) {
-    const auto& node = netlist.node(id);
-    if (node.kind != nl::NodeKind::kCell) continue;
-    report.leakage_power_nw += library.cell(node.cell).leakage_nw;
-    report.dynamic_power_uw += options_.activity_factor * load_ff(id) *
-                               options_.supply_voltage *
-                               options_.supply_voltage * frequency_ghz *
-                               1e-3;
+  // Chunk partials folded in chunk order: the power sums are bit-identical
+  // at any thread count (for the fixed grain).
+  constexpr std::size_t kPowerGrain = 256;
+  const std::size_t power_chunks =
+      util::ThreadPool::chunk_count(0, n, kPowerGrain);
+  std::vector<perf::EventLog> logs(ins != nullptr ? power_chunks : 0);
+  std::vector<double> leakage_partial(power_chunks, 0.0);
+  std::vector<double> dynamic_partial(power_chunks, 0.0);
+  util::parallel_for(
+      threads, 0, n, kPowerGrain,
+      [&](std::size_t chunk_begin, std::size_t chunk_end, std::size_t chunk,
+          unsigned) {
+        perf::EventLog* log = ins != nullptr ? &logs[chunk] : nullptr;
+        double leakage = 0.0;
+        double dynamic = 0.0;
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          const NodeId id = static_cast<NodeId>(i);
+          const auto& node = netlist.node(id);
+          if (node.kind != nl::NodeKind::kCell) continue;
+          leakage += library.cell(node.cell).leakage_nw;
+          dynamic += options_.activity_factor * load_ff(id, log) *
+                     options_.supply_voltage * options_.supply_voltage *
+                     frequency_ghz * 1e-3;
+        }
+        leakage_partial[chunk] = leakage;
+        dynamic_partial[chunk] = dynamic;
+      });
+  for (std::size_t c = 0; c < power_chunks; ++c) {
+    if (ins != nullptr) ins->replay(logs[c]);
+    report.leakage_power_nw += leakage_partial[c];
+    report.dynamic_power_uw += dynamic_partial[c];
   }
   }  // sta/power
 
@@ -257,11 +337,10 @@ TimingReport StaEngine::run(const Netlist& netlist,
   std::reverse(report.critical_path.begin(), report.critical_path.end());
 
   // ---- task graph: two levelized sweeps ---------------------------------------
-  const auto levels = netlist.levels();
-  std::uint32_t depth = 0;
-  for (std::uint32_t level : levels) depth = std::max(depth, level);
   std::vector<double> histogram(depth + 1, 0.0);
-  for (NodeId id = 0; id < n; ++id) histogram[levels[id]] += 1.0;
+  for (std::size_t l = 0; l < level_nodes.size(); ++l) {
+    histogram[l] = static_cast<double>(level_nodes[l].size());
+  }
 
   TaskGraph tasks;
   bool has_prev = false;

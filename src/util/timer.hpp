@@ -1,7 +1,12 @@
 #pragma once
 // Wall-clock stopwatch used by the experiment harnesses. Simulated runtimes
 // come from perf::RuntimeModel — this timer only measures host time for
-// progress reporting.
+// progress reporting and measured-speedup experiments.
+//
+// Not synchronized: each Timer belongs to one thread. When timing a
+// parallel region, construct and read it on the submitting thread around
+// the whole region (steady_clock is monotonic process-wide, so the reading
+// covers all workers); never share one Timer between pool workers.
 
 #include <chrono>
 

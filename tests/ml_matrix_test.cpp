@@ -2,6 +2,7 @@
 
 #include "ml/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edacloud::ml {
 namespace {
@@ -155,6 +156,41 @@ TEST(AggregateTest, BackwardIsAdjointOfForward) {
     rhs += x.data()[i] * aty.data()[i];
   }
   EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(MatrixTest, KernelsBitIdenticalAcrossThreadCounts) {
+  // The parallel kernels must match the serial ones bit-for-bit; sizes are
+  // chosen to exceed the serial-flop cutoff so the pool actually engages.
+  const Matrix a = random_matrix(96, 64, 21);
+  const Matrix b = random_matrix(64, 48, 22);
+  const Matrix bt = random_matrix(48, 64, 23);
+  const Matrix g = random_matrix(96, 48, 24);
+  util::Rng rng(25);
+  std::vector<std::pair<nl::VertexId, nl::VertexId>> edges;
+  for (int e = 0; e < 4000; ++e) {
+    edges.emplace_back(static_cast<nl::VertexId>(rng.next_below(96)),
+                       static_cast<nl::VertexId>(rng.next_below(96)));
+  }
+  const nl::Csr csr = nl::build_csr(96, edges);
+  const Matrix features = random_matrix(96, 64, 26);
+
+  util::set_global_thread_count(1);
+  const Matrix mm1 = matmul(a, b);
+  const Matrix atb1 = matmul_at_b(a, g);
+  const Matrix abt1 = matmul_a_bt(a, bt);
+  const Matrix agg1 = aggregate_mean(csr, features);
+
+  util::set_global_thread_count(4);
+  const Matrix mm4 = matmul(a, b);
+  const Matrix atb4 = matmul_at_b(a, g);
+  const Matrix abt4 = matmul_a_bt(a, bt);
+  const Matrix agg4 = aggregate_mean(csr, features);
+  util::set_global_thread_count(1);
+
+  EXPECT_EQ(mm1.data(), mm4.data());
+  EXPECT_EQ(atb1.data(), atb4.data());
+  EXPECT_EQ(abt1.data(), abt4.data());
+  EXPECT_EQ(agg1.data(), agg4.data());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "sched/metrics.hpp"
 #include "sched/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edacloud::obs {
 namespace {
@@ -117,6 +118,43 @@ TEST_F(TracerTest, ConcurrentSpansFromManyThreadsAreAllRecorded) {
     // Inner spans were opened under an outer span on the same thread.
     EXPECT_EQ(event.depth, event.name == "worker/inner" ? 1u : 0u);
   }
+}
+
+TEST_F(TracerTest, PoolWorkerSpansLandOnDedicatedLanes) {
+  Tracer& tracer = Tracer::global();
+  tracer.enable(ClockMode::kWall);
+  const std::uint32_t caller_lane = tracer.thread_lane();
+
+  util::parallel_for(4, 0, 64, 1,
+                     [&](std::size_t begin, std::size_t end, std::size_t,
+                         unsigned slot) {
+                       TRACE_SPAN_VAR(span, "pool/chunk", "util");
+                       span.counter("slot", static_cast<double>(slot));
+                       span.counter("items", static_cast<double>(end - begin));
+                       // Give the workers time to wake and claim chunks even
+                       // on a single-core host.
+                       std::this_thread::sleep_for(std::chrono::microseconds(200));
+                     });
+  util::set_global_thread_count(1);
+  tracer.disable();
+
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  bool saw_pool_lane = false;
+  for (const auto& event : events) {
+    ASSERT_EQ(event.args.size(), 2u);
+    const auto slot = static_cast<unsigned>(event.args[0].value);
+    if (slot == 0) {
+      // Chunks the submitting thread ran itself stay on its external lane.
+      EXPECT_EQ(event.tid, caller_lane);
+      EXPECT_LT(event.tid, Tracer::kPoolLaneBase);
+    } else {
+      // Worker lanes are a pure function of the pool slot.
+      EXPECT_EQ(event.tid, Tracer::kPoolLaneBase + slot - 1);
+      saw_pool_lane = true;
+    }
+  }
+  EXPECT_TRUE(saw_pool_lane);
 }
 
 // Minimal structural validation of the emitted JSON: balanced braces and

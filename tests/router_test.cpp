@@ -181,6 +181,48 @@ TEST(PatternRouteTest, RespectsCongestionLimit) {
   EXPECT_LT(result.pattern_routed, result.connection_count);
 }
 
+TEST(RouterTest, BitIdenticalAcrossThreadCounts) {
+  // The determinism guarantee of the batched parallel router: QoR and the
+  // per-config perf-counter totals must be exactly equal at any thread
+  // count (two registry-style designs, threads=1 vs threads=4).
+  const std::vector<perf::VmConfig> configs = {
+      perf::make_vm(perf::InstanceFamily::kGeneralPurpose, 4)};
+  for (const nl::Aig& aig :
+       {workloads::gen_alu(16), workloads::gen_multiplier(12)}) {
+    const PlacedDesign design = prepare(aig);
+    RouterOptions options;
+    options.threads = 1;
+    const auto serial =
+        GridRouter(options).run(design.netlist, design.placement, configs);
+    options.threads = 4;
+    const auto parallel =
+        GridRouter(options).run(design.netlist, design.placement, configs);
+
+    EXPECT_EQ(serial.routed_count, parallel.routed_count);
+    EXPECT_EQ(serial.wirelength_gedges, parallel.wirelength_gedges);
+    EXPECT_EQ(serial.overflowed_edges, parallel.overflowed_edges);
+    EXPECT_EQ(serial.total_expansions, parallel.total_expansions);
+    EXPECT_EQ(serial.wave_count, parallel.wave_count);
+    EXPECT_EQ(serial.connection_edges, parallel.connection_edges);
+
+    ASSERT_EQ(serial.profile.counts.size(), 1u);
+    ASSERT_EQ(parallel.profile.counts.size(), 1u);
+    const auto& a = serial.profile.counts[0];
+    const auto& b = parallel.profile.counts[0];
+    EXPECT_EQ(a.int_ops, b.int_ops);
+    EXPECT_EQ(a.fp_ops, b.fp_ops);
+    EXPECT_EQ(a.avx_ops, b.avx_ops);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.branch_misses, b.branch_misses);
+    EXPECT_EQ(a.l1_accesses, b.l1_accesses);
+    EXPECT_EQ(a.l1_misses, b.l1_misses);
+    EXPECT_EQ(a.llc_accesses, b.llc_accesses);
+    EXPECT_EQ(a.llc_misses, b.llc_misses);
+  }
+}
+
 TEST(RouterTest, EmptyNetlistRoutesTrivially) {
   nl::Netlist netlist("empty", &library());
   place::Placement placement;
