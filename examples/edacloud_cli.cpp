@@ -7,6 +7,10 @@
 //   edacloud_cli lib   [--out lib.lib]            # dump the built-in library
 //   edacloud_cli fleet-sim [--arrival-rate R] [--policy P] [--seed N]
 //                          [--duration S] [--mix M] [--spot F]
+//                          [--interruption-rate R] [--crash-rate R]
+//                          [--boot-fail P] [--restart MODEL]
+//                          [--checkpoint-interval S] [--checkpoint-overhead S]
+//                          [--max-attempts N] [--threads N]
 //                          [--trace F] [--metrics F]
 //
 // --trace writes a Chrome trace_event JSON file (open in Perfetto or
@@ -24,11 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "core/characterize.hpp"
-#include "core/optimizer.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "sched/simulator.hpp"
+#include "edacloud.hpp"
 #include "nl/aiger.hpp"
 #include "nl/dot.hpp"
 #include "nl/liberty.hpp"
@@ -37,15 +37,13 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
-#include "workloads/generators.hpp"
-#include "workloads/registry.hpp"
 
 using namespace edacloud;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage:\n"
                "  edacloud_cli gen   <family> <size> [--aag F] [--dot F]\n"
                "  edacloud_cli synth <in.aag> [--recipe NAME] [--verilog F]\n"
@@ -59,13 +57,65 @@ int usage() {
                "                         [--duration SECONDS]\n"
                "                         [--mix uniform|skewed|bursty]\n"
                "                         [--spot FRACTION]\n"
+               "                         [--interruption-rate PER_HOUR]\n"
+               "                         [--crash-rate PER_HOUR]\n"
+               "                         [--boot-fail PROBABILITY]\n"
+               "                         [--restart credit|zero|checkpoint]\n"
+               "                         [--checkpoint-interval SECONDS]\n"
+               "                         [--checkpoint-overhead SECONDS]\n"
+               "                         [--max-attempts N] [--threads N]\n"
                "                         [--trace F] [--metrics F]\n"
+               "Every subcommand accepts --help.\n"
                "families:");
   for (const auto& info : workloads::families()) {
-    std::fprintf(stderr, " %s", info.name.c_str());
+    std::fprintf(out, " %s", info.name.c_str());
   }
-  std::fprintf(stderr, "\n");
+  std::fprintf(out, "\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
+}
+
+/// The flags a subcommand understands. Value flags consume the next
+/// argument; switch flags stand alone.
+struct FlagSpec {
+  std::vector<std::string> value_flags;
+  std::vector<std::string> switch_flags;
+};
+
+bool spec_has(const std::vector<std::string>& flags, const std::string& arg) {
+  for (const auto& flag : flags) {
+    if (flag == arg) return true;
+  }
+  return false;
+}
+
+/// Reject anything that looks like a flag but isn't in the subcommand's
+/// spec, and value flags missing their argument. Returns 0 when the
+/// argument list is well-formed, 2 (after printing the problem + usage)
+/// otherwise.
+int check_flags(const std::string& command,
+                const std::vector<std::string>& args, const FlagSpec& spec) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) continue;  // positional
+    if (spec_has(spec.value_flags, arg)) {
+      if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "error: %s %s wants a value\n", command.c_str(),
+                     arg.c_str());
+        return usage();
+      }
+      ++i;  // skip the value
+      continue;
+    }
+    if (spec_has(spec.switch_flags, arg)) continue;
+    std::fprintf(stderr, "error: unknown flag '%s' for '%s'\n", arg.c_str(),
+                 command.c_str());
+    return usage();
+  }
+  return 0;
 }
 
 std::string flag_value(const std::vector<std::string>& args,
@@ -301,6 +351,63 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
   const std::string spot = flag_value(args, "--spot");
   if (!spot.empty()) config.fleet.spot_fraction = std::atof(spot.c_str());
 
+  // Fault-injection knobs (see DESIGN.md §10). The event loop stays fully
+  // deterministic with any of these enabled.
+  const std::string interruption = flag_value(args, "--interruption-rate");
+  if (!interruption.empty()) {
+    config.fleet.spot.interruptions_per_hour = std::atof(interruption.c_str());
+  }
+  const std::string crash = flag_value(args, "--crash-rate");
+  if (!crash.empty()) {
+    config.fault.crash_rate_per_hour = std::atof(crash.c_str());
+  }
+  const std::string boot_fail = flag_value(args, "--boot-fail");
+  if (!boot_fail.empty()) {
+    config.fault.boot_failure_probability = std::atof(boot_fail.c_str());
+  }
+  const std::string ckpt_interval = flag_value(args, "--checkpoint-interval");
+  if (!ckpt_interval.empty()) {
+    config.fault.checkpoint_interval_seconds = std::atof(ckpt_interval.c_str());
+  }
+  const std::string ckpt_overhead = flag_value(args, "--checkpoint-overhead");
+  if (!ckpt_overhead.empty()) {
+    config.fault.checkpoint_overhead_seconds = std::atof(ckpt_overhead.c_str());
+  }
+  const std::string attempts = flag_value(args, "--max-attempts");
+  if (!attempts.empty()) {
+    config.fault.max_attempts_per_stage = std::atoi(attempts.c_str());
+    if (config.fault.max_attempts_per_stage < 1) {
+      std::fprintf(stderr, "error: --max-attempts wants a positive integer\n");
+      return 2;
+    }
+  }
+  const std::string restart = flag_value(args, "--restart");
+  if (restart == "credit") {
+    config.fault.restart = sched::RestartModel::kFractionCredit;
+  } else if (restart == "zero") {
+    config.fault.restart = sched::RestartModel::kFromZero;
+  } else if (restart == "checkpoint") {
+    config.fault.restart = sched::RestartModel::kCheckpoint;
+  } else if (!restart.empty()) {
+    std::fprintf(stderr,
+                 "error: --restart wants credit, zero or checkpoint\n");
+    return 2;
+  } else if (!ckpt_interval.empty()) {
+    // A checkpoint interval without an explicit model means checkpointing.
+    config.fault.restart = sched::RestartModel::kCheckpoint;
+  }
+  const std::string threads = flag_value(args, "--threads");
+  if (!threads.empty()) {
+    const int n = std::atoi(threads.c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return 2;
+    }
+    // The event loop is sequential and seeded; the worker-pool width must
+    // not change any simulated result (scripts/check.sh asserts this).
+    util::set_global_thread_count(n);
+  }
+
   if (config.load.arrival_rate_per_hour <= 0.0 ||
       config.duration_seconds <= 0.0) {
     std::fprintf(stderr, "error: arrival rate and duration must be > 0\n");
@@ -359,16 +466,47 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
-  try {
-    if (command == "gen") return cmd_gen(args);
-    if (command == "synth") return cmd_synth(args);
-    if (command == "flow") return cmd_flow(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "lib") return cmd_lib(args);
-    if (command == "fleet-sim") return cmd_fleet_sim(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
   }
+
+  struct Subcommand {
+    const char* name;
+    int (*run)(const std::vector<std::string>&);
+    FlagSpec flags;
+  };
+  static const std::vector<Subcommand> kSubcommands = {
+      {"gen", cmd_gen, {{"--aag", "--dot"}, {}}},
+      {"synth", cmd_synth, {{"--recipe", "--verilog"}, {}}},
+      {"flow", cmd_flow, {{"--trace", "--metrics", "--threads"}, {}}},
+      {"plan", cmd_plan, {{}, {"--spot"}}},
+      {"lib", cmd_lib, {{"--out"}, {}}},
+      {"fleet-sim",
+       cmd_fleet_sim,
+       {{"--arrival-rate", "--policy", "--seed", "--duration", "--mix",
+         "--spot", "--interruption-rate", "--crash-rate", "--boot-fail",
+         "--restart", "--checkpoint-interval", "--checkpoint-overhead",
+         "--max-attempts", "--threads", "--trace", "--metrics"},
+        {}}},
+  };
+
+  for (const Subcommand& sub : kSubcommands) {
+    if (command != sub.name) continue;
+    if (spec_has(args, "--help") || spec_has(args, "-h")) {
+      print_usage(stdout);
+      return 0;
+    }
+    if (const int bad = check_flags(command, args, sub.flags); bad != 0) {
+      return bad;
+    }
+    try {
+      return sub.run(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return usage();
 }

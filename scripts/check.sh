@@ -51,6 +51,44 @@ trace_smoke() {
   python3 -m json.tool "${tmp}/fleet_1.json" > /dev/null
   cmp "${tmp}/fleet_1.json" "${tmp}/fleet_2.json"
   cmp "${tmp}/fleet_m1.json" "${tmp}/fleet_m2.json"
+
+  echo "=== fault smoke: injected faults stay byte-identical ==="
+  # Spot reclaims + crashes + boot failures + checkpointed retries, twice
+  # with the same seed and once more at a different worker-pool width: all
+  # three runs must serialize identical telemetry (DESIGN.md §10).
+  local fault_flags=(--seed 42 --duration 3600 --spot 0.6
+    --interruption-rate 3 --crash-rate 0.5 --boot-fail 0.1
+    --restart checkpoint --checkpoint-interval 300 --checkpoint-overhead 15)
+  "${cli}" fleet-sim "${fault_flags[@]}" --threads 1 \
+    --trace "${tmp}/fault_1.json" --metrics "${tmp}/fault_m1.json" > /dev/null
+  "${cli}" fleet-sim "${fault_flags[@]}" --threads 1 \
+    --trace "${tmp}/fault_2.json" --metrics "${tmp}/fault_m2.json" > /dev/null
+  "${cli}" fleet-sim "${fault_flags[@]}" --threads 8 \
+    --trace "${tmp}/fault_3.json" --metrics "${tmp}/fault_m3.json" > /dev/null
+  python3 -m json.tool "${tmp}/fault_1.json" > /dev/null
+  cmp "${tmp}/fault_1.json" "${tmp}/fault_2.json"
+  cmp "${tmp}/fault_m1.json" "${tmp}/fault_m2.json"
+  cmp "${tmp}/fault_1.json" "${tmp}/fault_3.json"
+  cmp "${tmp}/fault_m1.json" "${tmp}/fault_m3.json"
+  grep -q '/attempt-' "${tmp}/fault_1.json" || {
+    echo "fault smoke: no attempt spans in fault trace" >&2
+    return 1
+  }
+  grep -q 'fleet.retries' "${tmp}/fault_m1.json" || {
+    echo "fault smoke: no retry counter in fault metrics" >&2
+    return 1
+  }
+
+  echo "=== cli smoke: bad input is rejected loudly ==="
+  "${cli}" no-such-command > /dev/null 2>&1 && {
+    echo "cli smoke: unknown subcommand exited 0" >&2
+    return 1
+  }
+  "${cli}" fleet-sim --no-such-flag 1 > /dev/null 2>&1 && {
+    echo "cli smoke: unknown flag exited 0" >&2
+    return 1
+  }
+  "${cli}" fleet-sim --help > /dev/null || return 1
 }
 
 trace_smoke

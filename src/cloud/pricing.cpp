@@ -85,6 +85,41 @@ double SpotModel::sample_time_to_interruption(util::Rng& rng) const {
   return -std::log(1.0 - rng.next_double()) / rate_per_second;
 }
 
+double FaultModel::expected_runtime_seconds(double work_seconds) const {
+  if (work_seconds <= 0.0) return 0.0;
+  const double lambda = interruptions_per_hour / 3600.0;  // per second
+  const double delta = std::max(0.0, checkpoint_overhead_seconds);
+  const bool checkpointed =
+      checkpoint_interval_seconds > 0.0 &&
+      checkpoint_interval_seconds < work_seconds;
+  if (lambda <= 0.0) {
+    if (!checkpointed) return work_seconds;
+    const double segments =
+        std::ceil(work_seconds / checkpoint_interval_seconds);
+    return work_seconds + (segments - 1.0) * delta;
+  }
+  // Daly: a segment of length a (work + snapshot) completes failure-free
+  // with probability e^{-lambda a}; each failed try costs an expected
+  // 1/lambda of burned time plus the restart delay, so
+  //   E[segment] = (e^{lambda a} - 1) * (1/lambda + R).
+  const double per_failure = 1.0 / lambda + std::max(0.0, restart_delay_seconds);
+  const auto segment_expected = [&](double a) {
+    return std::expm1(lambda * a) * per_failure;
+  };
+  if (!checkpointed) return segment_expected(work_seconds);
+  const double tau = checkpoint_interval_seconds;
+  const double full_segments = std::floor(work_seconds / tau + 1e-12);
+  const double tail = work_seconds - full_segments * tau;
+  double total = full_segments * segment_expected(tau + delta);
+  if (tail > 1e-12) {
+    total += segment_expected(tail);
+  } else if (full_segments >= 1.0) {
+    // No tail: the final segment needs no snapshot; refund its overhead.
+    total -= segment_expected(tau + delta) - segment_expected(tau);
+  }
+  return total;
+}
+
 double PricingCatalog::hourly_usd(perf::InstanceFamily family,
                                   int vcpus) const {
   if (vcpus <= 0) throw std::invalid_argument("vcpus must be positive");
@@ -105,6 +140,13 @@ double PricingCatalog::spot_job_cost_usd(perf::InstanceFamily family,
                                           const SpotModel& spot) const {
   const double expected = spot.expected_runtime_seconds(runtime_seconds);
   return job_cost_usd(family, vcpus, expected) * spot.price_multiplier;
+}
+
+double PricingCatalog::faulty_job_cost_usd(perf::InstanceFamily family,
+                                           int vcpus, double runtime_seconds,
+                                           const FaultModel& faults) const {
+  return job_cost_usd(family, vcpus,
+                      faults.expected_runtime_seconds(runtime_seconds));
 }
 
 PricingCatalog PricingCatalog::aws_like() { return PricingCatalog(); }

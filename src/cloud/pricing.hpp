@@ -54,6 +54,27 @@ struct SpotModel {
   [[nodiscard]] double sample_time_to_interruption(util::Rng& rng) const;
 };
 
+/// Retry-aware expected-runtime model (Daly's checkpoint/restart analysis):
+/// failures arrive as a Poisson process at `interruptions_per_hour`; a
+/// segment of work must complete failure-free or it is repeated, each
+/// failure also paying `restart_delay_seconds` (the mean retry backoff).
+/// With checkpoints every `checkpoint_interval_seconds` only the current
+/// segment is at risk; without them the whole job is one segment. The
+/// resulting stretch factor is what the cost-aware scheduling policy feeds
+/// into the MCKP so spot capacity is priced at its *effective* cost — the
+/// cheap rate times the retry-inflated expected runtime. See DESIGN.md §10.
+struct FaultModel {
+  double interruptions_per_hour = 0.0;
+  double checkpoint_interval_seconds = 0.0;  // <= 0: restart from zero
+  double checkpoint_overhead_seconds = 0.0;  // per snapshot
+  double restart_delay_seconds = 0.0;        // mean backoff paid per failure
+
+  /// Expected wall-clock to push `work_seconds` of work through, retries,
+  /// snapshots and backoff included. Returns `work_seconds` unchanged at a
+  /// zero interruption rate (plus snapshot overhead when checkpointing).
+  [[nodiscard]] double expected_runtime_seconds(double work_seconds) const;
+};
+
 class PricingCatalog {
  public:
   PricingCatalog() = default;
@@ -75,6 +96,13 @@ class PricingCatalog {
   [[nodiscard]] double spot_job_cost_usd(perf::InstanceFamily family,
                                          int vcpus, double runtime_seconds,
                                          const SpotModel& spot) const;
+
+  /// Effective cost of a job under a failure/retry model: the on-demand
+  /// rate paid for the FaultModel's expected (retry-inflated) runtime.
+  /// Multiply by a spot discount externally when the capacity is spot.
+  [[nodiscard]] double faulty_job_cost_usd(perf::InstanceFamily family,
+                                           int vcpus, double runtime_seconds,
+                                           const FaultModel& faults) const;
 
   /// AWS-like on-demand rates (us-east-1 ballpark at the paper's writing):
   /// m5 $0.048/vCPU-h, r5 $0.063/vCPU-h, c5 $0.0425/vCPU-h.

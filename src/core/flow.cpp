@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/stage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "perf/obs_export.hpp"
@@ -29,59 +30,24 @@ FlowResult EdaFlow::run(const nl::Aig& design,
   result.design_name = design.name();
   TRACE_SPAN_VAR(flow_span, "flow/run", "flow");
 
-  // A flow-level thread count overrides stage options still at their
-  // 0 ("inherit") default; explicit per-stage settings win.
-  route::RouterOptions router_options = options_.router;
-  sta::StaOptions sta_options = options_.sta;
-  if (options_.threads != 0) {
-    if (router_options.threads == 0) router_options.threads = options_.threads;
-    if (sta_options.threads == 0) sta_options.threads = options_.threads;
-  }
+  StageContext ctx;
+  ctx.library = library_;
+  ctx.configs = &configs;
+  ctx.flow = &result;
+  ctx.tracer = &obs::Tracer::global();
+  ctx.metrics = &obs::Registry::global();
 
   util::Timer stage_timer;
-  const auto record_wall = [&](JobKind job) {
-    result.stage_wall_seconds[static_cast<int>(job)] = stage_timer.seconds();
+  for (const auto& engine : make_flow_engines(options_)) {
+    TRACE_SPAN_VAR(span, "flow/" + engine->name(), "flow");
+    const StageResult stage = engine->run(design, ctx);
+    for (const StageQor& qor : stage.qor) {
+      span.counter(qor.name, qor.value);
+    }
+    result.stage_wall_seconds[static_cast<int>(stage.kind)] =
+        stage_timer.seconds();
     stage_timer.reset();
-  };
-
-  {
-    TRACE_SPAN_VAR(span, "flow/synthesis", "flow");
-    synth::SynthesisEngine synthesis_engine(*library_);
-    result.synthesis = synthesis_engine.run(design, options_.recipe, configs);
-    span.counter("cells",
-                 static_cast<double>(result.synthesis.mapped.cell_count));
   }
-  record_wall(JobKind::kSynthesis);
-  const nl::Netlist& netlist = result.synthesis.mapped.netlist;
-
-  {
-    TRACE_SPAN_VAR(span, "flow/placement", "flow");
-    place::QuadraticPlacer placer(options_.placer);
-    result.placement = placer.run(netlist, configs);
-    span.counter("hpwl_um", result.placement.hpwl_um);
-  }
-  record_wall(JobKind::kPlacement);
-
-  {
-    TRACE_SPAN_VAR(span, "flow/routing", "flow");
-    route::GridRouter router(router_options);
-    result.routing = router.run(netlist, result.placement.placement, configs);
-    span.counter("wirelength_gedges",
-                 static_cast<double>(result.routing.wirelength_gedges));
-    span.counter("overflowed_edges",
-                 static_cast<double>(result.routing.overflowed_edges));
-  }
-  record_wall(JobKind::kRouting);
-
-  {
-    TRACE_SPAN_VAR(span, "flow/sta", "flow");
-    sta::StaEngine sta_engine(sta_options);
-    result.timing =
-        sta_engine.run(netlist, &result.placement.placement, configs);
-    span.counter("critical_path_ps", result.timing.critical_path_ps);
-    span.counter("worst_slack_ps", result.timing.worst_slack_ps);
-  }
-  record_wall(JobKind::kSta);
 
   if (!configs.empty()) {
     const std::array<const perf::JobProfile*, kJobCount> profiles = {

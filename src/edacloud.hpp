@@ -1,0 +1,23 @@
+#pragma once
+// Umbrella header: the library's public surface in one include.
+//
+//   #include "edacloud.hpp"
+//
+// pulls in the end-to-end flow (core/flow, core/stage), the
+// characterization + prediction + deployment-optimization pipeline
+// (core/characterize, core/predictor, core/optimizer), the discrete-event
+// cloud fleet simulator with its fault-tolerance layer (sched/simulator),
+// the workload generators, and the observability handles (obs). Drivers
+// and examples should include this instead of cherry-picking internals;
+// anything not reachable from here is an implementation detail.
+
+#include "core/characterize.hpp"
+#include "core/flow.hpp"
+#include "core/optimizer.hpp"
+#include "core/predictor.hpp"
+#include "core/stage.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/simulator.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/registry.hpp"

@@ -11,9 +11,11 @@ namespace edacloud::sched {
 
 enum class EventType : std::uint8_t {
   kJobArrival,       // LoadGenerator delivers a new flow job
-  kVmBootComplete,   // a launched VM becomes schedulable
+  kVmBootComplete,   // a launched VM becomes schedulable (or fails to boot)
   kTaskComplete,     // the stage running on vm_id finishes
   kSpotInterruption, // the spot VM vm_id is reclaimed mid-run
+  kVmCrash,          // the VM vm_id dies mid-run (fault injection)
+  kTaskRetry,        // a killed stage's backoff expired; re-enqueue it
   kAutoscalerTick,   // periodic fleet-sizing decision
 };
 

@@ -1,0 +1,76 @@
+#include "sched/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edacloud::sched {
+
+BackoffSchedule::BackoffSchedule(BackoffConfig config) : config_(config) {
+  if (config_.base_seconds < 0.0 || config_.cap_seconds < 0.0) {
+    throw std::invalid_argument("backoff delays must be non-negative");
+  }
+  if (config_.multiplier < 1.0) {
+    throw std::invalid_argument("backoff multiplier must be >= 1");
+  }
+  if (config_.jitter_fraction < 0.0 || config_.jitter_fraction >= 1.0) {
+    throw std::invalid_argument("jitter fraction must be in [0, 1)");
+  }
+}
+
+double BackoffSchedule::base_delay_seconds(int failures) const {
+  if (failures < 1) throw std::invalid_argument("failures must be >= 1");
+  double delay = config_.base_seconds;
+  for (int i = 1; i < failures; ++i) {
+    delay *= config_.multiplier;
+    if (delay >= config_.cap_seconds) break;  // saturated; stop multiplying
+  }
+  return std::min(delay, config_.cap_seconds);
+}
+
+double BackoffSchedule::delay_seconds(int failures, util::Rng& rng) const {
+  const double base = base_delay_seconds(failures);
+  const double j = config_.jitter_fraction;
+  // Draw even when j == 0 so the RNG stream shape does not depend on the
+  // jitter setting (keeps A/B sweeps over jitter seed-comparable).
+  const double u = rng.next_double();
+  return base * (1.0 - j + 2.0 * j * u);
+}
+
+namespace checkpoint {
+
+int snapshots_for(double work_seconds, double interval_seconds) {
+  if (interval_seconds <= 0.0 || work_seconds <= 0.0) return 0;
+  // A snapshot after every full interval, but none at the very end of the
+  // attempt (completion itself persists the stage output).
+  const double full = work_seconds / interval_seconds;
+  const auto intervals = static_cast<int>(std::ceil(full - 1e-12)) - 1;
+  return std::max(0, intervals);
+}
+
+double effective_seconds(double work_seconds, double interval_seconds,
+                         double overhead_seconds) {
+  return work_seconds +
+         static_cast<double>(snapshots_for(work_seconds, interval_seconds)) *
+             std::max(0.0, overhead_seconds);
+}
+
+int completed_checkpoints(double elapsed_seconds, double interval_seconds,
+                          double overhead_seconds) {
+  if (interval_seconds <= 0.0 || elapsed_seconds <= 0.0) return 0;
+  const double period = interval_seconds + std::max(0.0, overhead_seconds);
+  return static_cast<int>(std::floor(elapsed_seconds / period + 1e-12));
+}
+
+double credited_work_seconds(double elapsed_seconds, double interval_seconds,
+                             double overhead_seconds,
+                             double work_cap_seconds) {
+  const int done = completed_checkpoints(elapsed_seconds, interval_seconds,
+                                         overhead_seconds);
+  return std::clamp(static_cast<double>(done) * interval_seconds, 0.0,
+                    std::max(0.0, work_cap_seconds));
+}
+
+}  // namespace checkpoint
+
+}  // namespace edacloud::sched

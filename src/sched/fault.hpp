@@ -1,0 +1,118 @@
+#pragma once
+// Fault model for the fleet simulator: what can kill a running task (spot
+// reclaims, VM boot failures, mid-task crashes), how much of the work
+// survives a kill (restart model / stage-level checkpoints), and when the
+// stage runs again (retry with deterministic exponential backoff + jitter,
+// graceful degradation to on-demand after repeated spot evictions).
+//
+// Everything here is a pure function of configuration and a seeded
+// util::Rng owned by the simulator, so fault-injected runs stay
+// bit-identical across repeats and host thread counts. The checkpoint math
+// (and the Daly-style expected-runtime model the cost-aware policy prices
+// with) is documented in DESIGN.md §10.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace edacloud::sched {
+
+/// What a killed attempt resumes from.
+enum class RestartModel : std::uint8_t {
+  /// Legacy model (PR 1): keep (1 - SpotModel::restart_overhead_fraction)
+  /// of the fraction of the stage this attempt had covered.
+  kFractionCredit,
+  /// Naive: the attempt's work is lost entirely; the stage restarts from
+  /// where the attempt began.
+  kFromZero,
+  /// Stage-level checkpoints every `checkpoint_interval_seconds` of work
+  /// (paying `checkpoint_overhead_seconds` per snapshot); a kill resumes
+  /// from the last completed checkpoint.
+  kCheckpoint,
+};
+
+/// Deterministic exponential backoff: the delay before retry number k
+/// (k = 1 after the first failure) is
+///   min(cap, base * multiplier^(k-1)) * jitter,  jitter ~ U[1-j, 1+j]
+/// with the jitter factor drawn from the simulator's seeded RNG.
+struct BackoffConfig {
+  double base_seconds = 30.0;
+  double multiplier = 2.0;
+  double cap_seconds = 600.0;
+  double jitter_fraction = 0.25;  // j in [0, 1); 0 = deterministic delays
+};
+
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(BackoffConfig config);
+
+  /// Pre-jitter delay before retry `failures` (>= 1): the capped
+  /// exponential. Exposed separately so tests can pin the ladder.
+  [[nodiscard]] double base_delay_seconds(int failures) const;
+
+  /// The actual delay: base_delay * U[1 - j, 1 + j] drawn from `rng`.
+  /// Always within [base*(1-j), base*(1+j)] — the bound tests assert.
+  [[nodiscard]] double delay_seconds(int failures, util::Rng& rng) const;
+
+  [[nodiscard]] const BackoffConfig& config() const { return config_; }
+
+ private:
+  BackoffConfig config_;
+};
+
+struct FaultConfig {
+  RestartModel restart = RestartModel::kFractionCredit;
+  /// Checkpoint cadence in *work* seconds on the executing VM (<= 0 with
+  /// kCheckpoint behaves like kFromZero) and the per-snapshot overhead
+  /// added to the attempt's service time.
+  double checkpoint_interval_seconds = 0.0;
+  double checkpoint_overhead_seconds = 0.0;
+  /// Probability a launched VM fails to come up at boot-complete time; the
+  /// machine is retired (its boot seconds still bill) and the autoscaler
+  /// replaces it on a later tick.
+  double boot_failure_probability = 0.0;
+  /// Machine-fatal mid-task crash rate (exponential, applies to every VM,
+  /// spot or on-demand). The VM retires; the task retries elsewhere.
+  double crash_rate_per_hour = 0.0;
+  /// A stage that gets killed this many times fails its job permanently.
+  int max_attempts_per_stage = 10;
+  /// Graceful degradation: after this many spot evictions of one stage,
+  /// its remaining attempts only dispatch to on-demand VMs (0 = never).
+  int spot_evictions_before_fallback = 3;
+  BackoffConfig backoff;
+
+  [[nodiscard]] bool any_injection() const {
+    return boot_failure_probability > 0.0 || crash_rate_per_hour > 0.0;
+  }
+};
+
+/// Checkpointed-attempt arithmetic. An attempt of `work` seconds with
+/// interval tau and overhead delta alternates [tau work, delta snapshot];
+/// the final partial segment takes no snapshot, so its effective (billed)
+/// duration is work + floor((work - eps)/tau) * delta, and a kill at
+/// effective time e has completed floor(e / (tau + delta)) checkpoints.
+namespace checkpoint {
+
+/// Snapshots taken during an attempt that runs `work_seconds` to completion.
+[[nodiscard]] int snapshots_for(double work_seconds, double interval_seconds);
+
+/// Effective service seconds of the attempt (work + snapshot overhead).
+[[nodiscard]] double effective_seconds(double work_seconds,
+                                       double interval_seconds,
+                                       double overhead_seconds);
+
+/// Checkpoints fully completed by effective time `elapsed_seconds`.
+[[nodiscard]] int completed_checkpoints(double elapsed_seconds,
+                                        double interval_seconds,
+                                        double overhead_seconds);
+
+/// Work seconds that survive a kill at `elapsed_seconds` (never more than
+/// `work_cap_seconds`, the attempt's total work).
+[[nodiscard]] double credited_work_seconds(double elapsed_seconds,
+                                           double interval_seconds,
+                                           double overhead_seconds,
+                                           double work_cap_seconds);
+
+}  // namespace checkpoint
+
+}  // namespace edacloud::sched

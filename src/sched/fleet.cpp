@@ -32,7 +32,7 @@ void Fleet::mark_ready(int id) {
 }
 
 void Fleet::assign(int id, std::uint64_t job, double now,
-                   double service_seconds) {
+                   double service_seconds, double work_seconds) {
   VmInstance& vm = vms_[id];
   if (vm.state != VmInstance::State::kIdle) {
     throw std::logic_error("assign: VM is not idle");
@@ -41,6 +41,7 @@ void Fleet::assign(int id, std::uint64_t job, double now,
   vm.running_job = job;
   vm.run_start = now;
   vm.run_service = service_seconds;
+  vm.run_work = work_seconds < 0.0 ? service_seconds : work_seconds;
 }
 
 void Fleet::release(int id, double now) {
@@ -52,6 +53,7 @@ void Fleet::release(int id, double now) {
   vm.state = VmInstance::State::kIdle;
   vm.running_job = kNoJob;
   vm.run_service = 0.0;
+  vm.run_work = 0.0;
 }
 
 void Fleet::retire(int id, double now) {

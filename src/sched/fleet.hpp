@@ -39,6 +39,7 @@ struct VmInstance {
   std::uint64_t running_job = kNoJob;
   double run_start = 0.0;
   double run_service = 0.0;    // scheduled service time of the current run
+  double run_work = 0.0;       // work component (service minus snapshots)
 };
 
 struct FleetConfig {
@@ -59,7 +60,11 @@ class Fleet {
              bool warm = false);
 
   void mark_ready(int id);
-  void assign(int id, std::uint64_t job, double now, double service_seconds);
+  /// Start a run. `work_seconds` is the useful-work component of the
+  /// service time (defaults to all of it; less when checkpoint snapshots
+  /// pad the schedule).
+  void assign(int id, std::uint64_t job, double now, double service_seconds,
+              double work_seconds = -1.0);
   /// Finish the current run and return the VM to the idle pool.
   void release(int id, double now);
   /// Retire the VM (scale-down or spot reclaim). Busy VMs are allowed —

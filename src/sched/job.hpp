@@ -65,11 +65,26 @@ struct Job {
   int stage = 0;                // current flow stage in [0, kJobCount]
   double stage_progress = 0.0;  // completed fraction of the current stage
   int preemptions = 0;          // spot reclaims suffered across all stages
+  int stage_attempts = 0;       // attempts started for the current stage
+  int stage_kills = 0;          // attempts of the current stage killed
+  int stage_evictions = 0;      // spot reclaims of the current stage
+  bool require_on_demand = false;  // K-eviction fallback tripped this stage
+  bool failed = false;          // current stage exhausted its retry budget
   double cost_usd = 0.0;        // billing attributed from its own stage runs
   double first_dispatch_time = -1.0;
   double completion_time = -1.0;
 
   [[nodiscard]] bool done() const { return stage >= core::kJobCount; }
+
+  /// Reset the per-stage fault bookkeeping when a stage completes.
+  void advance_stage() {
+    stage_progress = 0.0;
+    stage_attempts = 0;
+    stage_kills = 0;
+    stage_evictions = 0;
+    require_on_demand = false;
+    ++stage;
+  }
 };
 
 }  // namespace edacloud::sched

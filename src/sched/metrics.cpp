@@ -52,8 +52,21 @@ FleetMetrics MetricsCollector::finalize(double arrival_window_seconds,
   FleetMetrics m;
   m.jobs_submitted = submitted_;
   m.jobs_completed = completed_;
+  m.jobs_failed = failed_;
   m.tasks_dispatched = dispatched_;
   m.preemptions = preemptions_;
+  m.crashes = crashes_;
+  m.boot_failures = boot_failures_;
+  m.retries = retries_;
+  m.spot_fallbacks = spot_fallbacks_;
+  m.wasted_seconds = wasted_seconds_;
+  m.checkpoint_overhead_seconds = checkpoint_overhead_seconds_;
+  if (fleet.busy_seconds > 0.0) {
+    m.goodput_fraction =
+        std::max(0.0, fleet.busy_seconds - wasted_seconds_ -
+                          checkpoint_overhead_seconds_) /
+        fleet.busy_seconds;
+  }
   m.arrival_window_seconds = arrival_window_seconds;
   m.drained_at_seconds = drained_at_seconds;
 
@@ -109,9 +122,17 @@ void FleetMetrics::export_to(obs::Registry& registry,
   };
   count("jobs_submitted", jobs_submitted);
   count("jobs_completed", jobs_completed);
+  count("jobs_failed", jobs_failed);
   count("tasks_dispatched", tasks_dispatched);
   count("preemptions", preemptions);
+  count("crashes", crashes);
+  count("boot_failures", boot_failures);
+  count("retries", retries);
+  count("spot_fallbacks", spot_fallbacks);
   count("slo_violations", slo_violations);
+  set("wasted_seconds", wasted_seconds);
+  set("checkpoint_overhead_seconds", checkpoint_overhead_seconds);
+  set("goodput_fraction", goodput_fraction);
   set("arrival_window_seconds", arrival_window_seconds);
   set("drained_at_seconds", drained_at_seconds);
   set("latency_p50_seconds", latency_p50);
@@ -139,6 +160,22 @@ std::string FleetMetrics::render() const {
                  util::format_count(static_cast<long long>(tasks_dispatched))});
   table.add_row({"spot preemptions",
                  util::format_count(static_cast<long long>(preemptions))});
+  if (crashes > 0 || boot_failures > 0 || retries > 0 || jobs_failed > 0) {
+    table.add_row({"VM crashes",
+                   util::format_count(static_cast<long long>(crashes))});
+    table.add_row({"boot failures",
+                   util::format_count(static_cast<long long>(boot_failures))});
+    table.add_row({"retries",
+                   util::format_count(static_cast<long long>(retries))});
+    table.add_row({"jobs failed",
+                   util::format_count(static_cast<long long>(jobs_failed))});
+    table.add_row({"spot fallbacks",
+                   util::format_count(static_cast<long long>(spot_fallbacks))});
+    table.add_row({"wasted time", util::format_duration(wasted_seconds)});
+    table.add_row({"checkpoint overhead",
+                   util::format_duration(checkpoint_overhead_seconds)});
+    table.add_row({"goodput", util::format_percent(goodput_fraction, 1)});
+  }
   table.add_row({"latency p50", util::format_duration(latency_p50)});
   table.add_row({"latency p95", util::format_duration(latency_p95)});
   table.add_row({"latency p99", util::format_duration(latency_p99)});

@@ -18,10 +18,22 @@ struct FleetMetrics {
   // Population.
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;   // retry budget exhausted; job abandoned
   std::uint64_t tasks_dispatched = 0;
   std::uint64_t preemptions = 0;
   double arrival_window_seconds = 0.0;  // configured load duration
   double drained_at_seconds = 0.0;      // sim time the last event fired
+
+  // Fault tolerance (see DESIGN.md §10).
+  std::uint64_t crashes = 0;         // injected mid-task VM deaths
+  std::uint64_t boot_failures = 0;   // VMs that never came up
+  std::uint64_t retries = 0;         // backoff-delayed re-enqueues
+  std::uint64_t spot_fallbacks = 0;  // stages degraded to on-demand-only
+  double wasted_seconds = 0.0;       // killed-attempt service time lost
+  double checkpoint_overhead_seconds = 0.0;  // snapshot time paid
+  /// busy seconds that advanced jobs / all busy seconds; 1.0 when nothing
+  /// was killed, lower as waste and snapshot overhead accumulate.
+  double goodput_fraction = 1.0;
 
   // Latency (arrival -> flow completion, seconds).
   double latency_p50 = 0.0;
@@ -62,12 +74,24 @@ class MetricsCollector {
   void record_submitted() { ++submitted_; }
   void record_dispatch(double queue_wait_seconds);
   void record_preemption() { ++preemptions_; }
+  void record_crash() { ++crashes_; }
+  void record_boot_failure() { ++boot_failures_; }
+  void record_retry() { ++retries_; }
+  void record_spot_fallback() { ++spot_fallbacks_; }
+  void record_failure() { ++failed_; }
+  /// Service seconds a killed attempt burned without advancing the job.
+  void record_wasted(double seconds) { wasted_seconds_ += seconds; }
+  /// Service seconds spent writing checkpoint snapshots.
+  void record_checkpoint_overhead(double seconds) {
+    checkpoint_overhead_seconds_ += seconds;
+  }
   /// `best_case_service_seconds` is the job's scaled best-case service time
   /// (the slowdown denominator).
   void record_completion(const Job& job, double best_case_service_seconds);
 
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t failed() const { return failed_; }
 
   struct FleetStats {
     double busy_seconds = 0.0;
@@ -83,10 +107,17 @@ class MetricsCollector {
  private:
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t preemptions_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t boot_failures_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t spot_fallbacks_ = 0;
   std::uint64_t slo_violations_ = 0;
   double queue_wait_sum_ = 0.0;
+  double wasted_seconds_ = 0.0;
+  double checkpoint_overhead_seconds_ = 0.0;
   std::vector<double> latencies_;
   std::vector<double> slowdowns_;
 };

@@ -16,20 +16,42 @@ std::array<PoolKey, core::kJobCount> FifoAnyPolicy::plan(
 }
 
 std::size_t FifoAnyPolicy::pick(const std::vector<TaskRef>& queue,
-                                const PoolKey& pool) const {
-  (void)pool;  // any VM takes the head of the global queue
-  return queue.empty() ? kNoTask : 0;
+                                const PoolKey& pool, bool spot_vm) const {
+  (void)pool;  // any VM takes the oldest task it is allowed to run
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (task_runnable_on(queue[i], spot_vm)) return i;
+  }
+  return kNoTask;
+}
+
+void CostAwarePolicy::set_fault_context(const FleetConfig& fleet,
+                                        const FaultConfig& faults) {
+  // The rate a dispatched task actually experiences: machine crashes hit
+  // every VM; spot reclaims hit the spot_fraction share of capacity.
+  cloud::FaultModel model;
+  model.interruptions_per_hour =
+      faults.crash_rate_per_hour +
+      fleet.spot_fraction * fleet.spot.interruptions_per_hour;
+  if (faults.restart == RestartModel::kCheckpoint) {
+    model.checkpoint_interval_seconds = faults.checkpoint_interval_seconds;
+    model.checkpoint_overhead_seconds = faults.checkpoint_overhead_seconds;
+  }
+  model.restart_delay_seconds = faults.backoff.base_seconds;
+  fault_model_ = model;
 }
 
 std::array<PoolKey, core::kJobCount> CostAwarePolicy::plan(
     const Job& job, const JobTemplate& tmpl) {
   // Scale the template's recommended-family ladders by the job's size
-  // jitter, then ask the MCKP for the cheapest per-stage configuration that
-  // fits inside the service share of the SLO budget (the rest is reserved
-  // for queueing and boot).
+  // jitter and stretch them to retry-inflated expected runtimes, then ask
+  // the MCKP for the cheapest per-stage configuration that fits inside the
+  // service share of the SLO budget (the rest is reserved for queueing and
+  // boot).
   core::RuntimeLadders ladders = tmpl.recommended_ladders();
   for (auto& ladder : ladders) {
-    for (double& runtime : ladder) runtime *= job.scale;
+    for (double& runtime : ladder) {
+      runtime = fault_model_.expected_runtime_seconds(runtime * job.scale);
+    }
   }
   const double slo_budget = job.slo_deadline - job.arrival_time;
   const double service_budget = headroom_ * slo_budget;
@@ -51,20 +73,23 @@ std::array<PoolKey, core::kJobCount> CostAwarePolicy::plan(
 }
 
 std::size_t CostAwarePolicy::pick(const std::vector<TaskRef>& queue,
-                                  const PoolKey& pool) const {
+                                  const PoolKey& pool, bool spot_vm) const {
   // Oldest waiting task routed to this pool; strict matching, no stealing.
   for (std::size_t i = 0; i < queue.size(); ++i) {
-    if (queue[i].preferred == pool) return i;
+    if (queue[i].preferred == pool && task_runnable_on(queue[i], spot_vm)) {
+      return i;
+    }
   }
   return kNoTask;
 }
 
 std::size_t EdfBackfillPolicy::pick(const std::vector<TaskRef>& queue,
-                                    const PoolKey& pool) const {
+                                    const PoolKey& pool, bool spot_vm) const {
   std::size_t best_matching = kNoTask;
   std::size_t best_any = kNoTask;
   for (std::size_t i = 0; i < queue.size(); ++i) {
     const TaskRef& task = queue[i];
+    if (!task_runnable_on(task, spot_vm)) continue;
     const bool earlier_any =
         best_any == kNoTask || task.deadline < queue[best_any].deadline ||
         (task.deadline == queue[best_any].deadline &&

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/optimizer.hpp"
+#include "sched/fault.hpp"
 #include "sched/fleet.hpp"
 #include "sched/job.hpp"
 
@@ -27,23 +28,44 @@ struct TaskRef {
   double deadline = 0.0;  // absolute SLO deadline of the owning job
   PoolKey preferred;      // the pool plan() routed this stage to
   std::uint64_t seq = 0;  // global enqueue order; the deterministic tie-break
+  /// Graceful-degradation flag: this stage burned its spot-eviction budget
+  /// and may only start on on-demand VMs.
+  bool require_on_demand = false;
 };
 
 constexpr std::size_t kNoTask = ~std::size_t{0};
+
+/// True when `task` may start on a VM of `pool` whose spot-ness is
+/// `spot_vm` — the one dispatch rule every policy must respect.
+[[nodiscard]] inline bool task_runnable_on(const TaskRef& task, bool spot_vm) {
+  return !(task.require_on_demand && spot_vm);
+}
 
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// The simulator announces the fleet + fault configuration once before
+  /// the run, so planning policies can price retry-inflated effective cost
+  /// into their routing. Default: ignore it.
+  virtual void set_fault_context(const FleetConfig& fleet,
+                                 const FaultConfig& faults) {
+    (void)fleet;
+    (void)faults;
+  }
+
   /// Route every stage of a newly admitted job to a pool.
   [[nodiscard]] virtual std::array<PoolKey, core::kJobCount> plan(
       const Job& job, const JobTemplate& tmpl) = 0;
 
   /// Index into `queue` of the task an idle VM in `pool` should run next
-  /// (kNoTask = leave the VM idle). `queue` is in enqueue order.
+  /// (kNoTask = leave the VM idle). `queue` is in enqueue order. `spot_vm`
+  /// says whether the candidate VM is spot capacity — tasks whose
+  /// require_on_demand flag is set must not be picked for a spot VM.
   [[nodiscard]] virtual std::size_t pick(const std::vector<TaskRef>& queue,
-                                         const PoolKey& pool) const = 0;
+                                         const PoolKey& pool,
+                                         bool spot_vm = false) const = 0;
 };
 
 /// FIFO-any: one global queue, every stage targets a single big default
@@ -60,7 +82,8 @@ class FifoAnyPolicy : public SchedulerPolicy {
   [[nodiscard]] std::array<PoolKey, core::kJobCount> plan(
       const Job& job, const JobTemplate& tmpl) override;
   [[nodiscard]] std::size_t pick(const std::vector<TaskRef>& queue,
-                                 const PoolKey& pool) const override;
+                                 const PoolKey& pool,
+                                 bool spot_vm = false) const override;
 
  private:
   PoolKey default_pool_;
@@ -69,7 +92,10 @@ class FifoAnyPolicy : public SchedulerPolicy {
 /// Cost-aware: at admission, solve the job's MCKP (greedy heuristic over
 /// the DeploymentOptimizer's stages) against its SLO budget, then route
 /// every stage to the recommended (family, size). Stages wait for their
-/// own pool — the autoscaler grows pools that have queued demand.
+/// own pool — the autoscaler grows pools that have queued demand. When the
+/// simulator announces a fault context, the ladders the MCKP prices are
+/// stretched to the retry-inflated *expected* runtimes (cloud::FaultModel),
+/// so unreliable capacity is charged what it actually costs.
 class CostAwarePolicy : public SchedulerPolicy {
  public:
   explicit CostAwarePolicy(
@@ -78,14 +104,24 @@ class CostAwarePolicy : public SchedulerPolicy {
       : optimizer_(catalog), headroom_(queueing_headroom) {}
 
   [[nodiscard]] std::string name() const override { return "cost"; }
+  void set_fault_context(const FleetConfig& fleet,
+                         const FaultConfig& faults) override;
   [[nodiscard]] std::array<PoolKey, core::kJobCount> plan(
       const Job& job, const JobTemplate& tmpl) override;
   [[nodiscard]] std::size_t pick(const std::vector<TaskRef>& queue,
-                                 const PoolKey& pool) const override;
+                                 const PoolKey& pool,
+                                 bool spot_vm = false) const override;
+
+  /// The effective-runtime model plan() stretches ladders with (identity
+  /// until set_fault_context is called with a lossy configuration).
+  [[nodiscard]] const cloud::FaultModel& fault_model() const {
+    return fault_model_;
+  }
 
  private:
   core::DeploymentOptimizer optimizer_;
   double headroom_;  // fraction of the SLO budget MCKP may spend on service
+  cloud::FaultModel fault_model_;  // zero-rate default: no stretch
 };
 
 /// Deadline-aware EDF with preemption-free backfill: MCKP routing like the
@@ -98,7 +134,8 @@ class EdfBackfillPolicy : public CostAwarePolicy {
 
   [[nodiscard]] std::string name() const override { return "edf"; }
   [[nodiscard]] std::size_t pick(const std::vector<TaskRef>& queue,
-                                 const PoolKey& pool) const override;
+                                 const PoolKey& pool,
+                                 bool spot_vm = false) const override;
 };
 
 /// Factory for the CLI / bench: "fifo" | "cost" | "edf"; throws on unknown.

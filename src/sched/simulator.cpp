@@ -1,6 +1,7 @@
 #include "sched/simulator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -15,19 +16,23 @@ std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
   return util::splitmix64(state);
 }
 
-/// One finished (or preempted) task attempt as a trace span on the VM's
-/// lane. Everything is simulated time, so same-seed runs emit identical
-/// spans; lanes are VM ids, which Perfetto renders as one track per VM.
+/// One finished (or killed) task attempt as a trace span on the VM's lane,
+/// named task/<stage>/attempt-N so repeated attempts of the same stage are
+/// distinguishable in the viewer. Everything is simulated time, so
+/// same-seed runs emit identical spans; lanes are VM ids, which Perfetto
+/// renders as one track per VM.
 void trace_task_attempt(const Job& job, const VmInstance& vm, int vm_id,
-                        double now, bool preempted) {
+                        double now, bool killed) {
   obs::Tracer& tracer = obs::Tracer::global();
   if (!tracer.enabled()) return;
   std::vector<obs::TraceArg> args = {
       {"job", static_cast<double>(job.id)},
-      {"preempted", preempted ? 1.0 : 0.0},
+      {"attempt", static_cast<double>(job.stage_attempts)},
+      {"preempted", killed ? 1.0 : 0.0},
   };
   tracer.emit_complete(
-      "task/" + core::job_name(static_cast<core::JobKind>(job.stage)),
+      "task/" + core::job_name(static_cast<core::JobKind>(job.stage)) +
+          "/attempt-" + std::to_string(job.stage_attempts),
       "fleet", vm.run_start * 1e6, (now - vm.run_start) * 1e6,
       static_cast<std::uint32_t>(vm_id), std::move(args));
 }
@@ -43,9 +48,17 @@ FleetSimulator::FleetSimulator(SimConfig config,
       fleet_(config_.fleet),
       autoscaler_(config_.autoscaler),
       generator_(config_.load, &templates_, derive_seed(config_.seed, 1)),
+      backoff_(config_.fault.backoff),
       fleet_rng_(derive_seed(config_.seed, 2)),
-      spot_rng_(derive_seed(config_.seed, 3)) {
+      spot_rng_(derive_seed(config_.seed, 3)),
+      crash_rng_(derive_seed(config_.seed, 4)),
+      boot_rng_(derive_seed(config_.seed, 5)),
+      backoff_rng_(derive_seed(config_.seed, 6)) {
   if (policy_ == nullptr) throw std::invalid_argument("policy is required");
+  if (config_.fault.max_attempts_per_stage < 1) {
+    throw std::invalid_argument("max_attempts_per_stage must be >= 1");
+  }
+  policy_->set_fault_context(config_.fleet, config_.fault);
 }
 
 FleetMetrics FleetSimulator::run() {
@@ -91,7 +104,13 @@ FleetMetrics FleetSimulator::run() {
         handle_task_complete(event);
         break;
       case EventType::kSpotInterruption:
-        handle_spot_interruption(event);
+        handle_attempt_killed(event, /*spot_reclaim=*/true);
+        break;
+      case EventType::kVmCrash:
+        handle_attempt_killed(event, /*spot_reclaim=*/false);
+        break;
+      case EventType::kTaskRetry:
+        handle_task_retry(event);
         break;
       case EventType::kAutoscalerTick:
         handle_autoscaler_tick();
@@ -128,6 +147,15 @@ void FleetSimulator::handle_arrival(const Event& event) {
 }
 
 void FleetSimulator::handle_boot(const Event& event) {
+  // Boot-failure injection: the machine never becomes schedulable; it
+  // retires immediately (the boot window still bills) and the autoscaler
+  // replaces it once the demand shows up again at a later tick.
+  if (config_.fault.boot_failure_probability > 0.0 &&
+      boot_rng_.next_bool(config_.fault.boot_failure_probability)) {
+    metrics_.record_boot_failure();
+    fleet_.retire(event.vm_id, now_);
+    return;
+  }
   fleet_.mark_ready(event.vm_id);
   dispatch();
 }
@@ -135,17 +163,19 @@ void FleetSimulator::handle_boot(const Event& event) {
 void FleetSimulator::handle_task_complete(const Event& event) {
   VmInstance& vm = fleet_.vm(event.vm_id);
   Job& job = jobs_.at(event.job_id);
-  trace_task_attempt(job, vm, event.vm_id, now_, /*preempted=*/false);
+  trace_task_attempt(job, vm, event.vm_id, now_, /*killed=*/false);
 
   const double service = vm.run_service;
+  // Snapshot padding (service minus work) is paid, not useful progress.
+  metrics_.record_checkpoint_overhead(
+      std::max(0.0, vm.run_service - vm.run_work));
   double cost = config_.fleet.catalog.job_cost_usd(vm.pool.family,
                                                    vm.pool.vcpus, service);
   if (vm.spot) cost *= config_.fleet.spot.price_multiplier;
   job.cost_usd += cost;
 
   fleet_.release(event.vm_id, now_);
-  job.stage_progress = 0.0;
-  ++job.stage;
+  job.advance_stage();
   if (job.done()) {
     job.completion_time = now_;
     const JobTemplate& tmpl = templates_[job.template_index];
@@ -157,26 +187,93 @@ void FleetSimulator::handle_task_complete(const Event& event) {
   dispatch();
 }
 
-void FleetSimulator::handle_spot_interruption(const Event& event) {
+void FleetSimulator::handle_attempt_killed(const Event& event,
+                                           bool spot_reclaim) {
   Job& job = jobs_.at(event.job_id);
   VmInstance& vm = fleet_.vm(event.vm_id);
-  trace_task_attempt(job, vm, event.vm_id, now_, /*preempted=*/true);
+  trace_task_attempt(job, vm, event.vm_id, now_, /*killed=*/true);
 
-  // Credit the survivable part of the attempt: of the fraction of the stage
-  // this attempt covered, restart_overhead_fraction is lost on restart.
+  const FaultConfig& fault = config_.fault;
   const double elapsed = now_ - vm.run_start;
   const double attempt_share = 1.0 - job.stage_progress;
-  const double done =
-      vm.run_service > 0.0 ? elapsed / vm.run_service : 1.0;
-  job.stage_progress +=
-      attempt_share * done *
-      (1.0 - config_.fleet.spot.restart_overhead_fraction);
-  job.stage_progress = std::clamp(job.stage_progress, 0.0, 0.999999);
-  ++job.preemptions;
-  metrics_.record_preemption();
+  // Work seconds for the whole stage at this VM's speed (the attempt's
+  // run_work covered attempt_share of it).
+  const double full_work =
+      attempt_share > 0.0 ? vm.run_work / attempt_share : 0.0;
 
-  // The spot machine is reclaimed; billing stops here, the stage requeues.
+  // How much of the attempt survives the kill, per the restart model.
+  double credited_work = 0.0;    // work seconds that persist
+  double overhead_spent = 0.0;   // snapshot seconds behind the credit
+  switch (fault.restart) {
+    case RestartModel::kFractionCredit: {
+      const double done = vm.run_service > 0.0 ? elapsed / vm.run_service : 1.0;
+      credited_work = vm.run_work * done *
+                      (1.0 - config_.fleet.spot.restart_overhead_fraction);
+      break;
+    }
+    case RestartModel::kFromZero:
+      break;
+    case RestartModel::kCheckpoint: {
+      credited_work = checkpoint::credited_work_seconds(
+          elapsed, fault.checkpoint_interval_seconds,
+          fault.checkpoint_overhead_seconds, vm.run_work);
+      overhead_spent =
+          static_cast<double>(checkpoint::completed_checkpoints(
+              elapsed, fault.checkpoint_interval_seconds,
+              fault.checkpoint_overhead_seconds)) *
+          std::max(0.0, fault.checkpoint_overhead_seconds);
+      break;
+    }
+  }
+  if (full_work > 0.0) {
+    job.stage_progress = std::clamp(
+        job.stage_progress + credited_work / full_work, 0.0, 0.999999);
+  }
+  metrics_.record_checkpoint_overhead(overhead_spent);
+  metrics_.record_wasted(std::max(0.0, elapsed - credited_work -
+                                           overhead_spent));
+
+  ++job.stage_kills;
+  if (spot_reclaim) {
+    ++job.preemptions;
+    ++job.stage_evictions;
+    metrics_.record_preemption();
+  } else {
+    metrics_.record_crash();
+  }
+
+  // The machine is gone either way (reclaimed or crashed); billing stops.
   fleet_.retire(event.vm_id, now_);
+
+  // Graceful degradation: a stage that keeps getting evicted stops
+  // gambling on spot capacity. Only meaningful when the fleet launches an
+  // on-demand tier at all — an all-spot fleet has nothing to fall back to,
+  // and an undispatchable task would stall the drain forever.
+  if (spot_reclaim && fault.spot_evictions_before_fallback > 0 &&
+      config_.fleet.spot_fraction < 1.0 &&
+      job.stage_evictions >= fault.spot_evictions_before_fallback &&
+      !job.require_on_demand) {
+    job.require_on_demand = true;
+    metrics_.record_spot_fallback();
+  }
+
+  if (job.stage_kills >= fault.max_attempts_per_stage) {
+    job.failed = true;
+    metrics_.record_failure();
+    dispatch();
+    return;
+  }
+
+  // Retry after a deterministic exponential backoff with seeded jitter.
+  const double delay = backoff_.delay_seconds(job.stage_kills, backoff_rng_);
+  metrics_.record_retry();
+  events_.push(now_ + delay, EventType::kTaskRetry, job.id);
+  dispatch();
+}
+
+void FleetSimulator::handle_task_retry(const Event& event) {
+  const Job& job = jobs_.at(event.job_id);
+  if (job.failed || job.done()) return;  // defensive; not scheduled for these
   enqueue_stage(job);
   dispatch();
 }
@@ -229,6 +326,7 @@ void FleetSimulator::enqueue_stage(const Job& job) {
   task.deadline = job.slo_deadline;
   task.preferred = plans_.at(job.id)[job.stage];
   task.seq = next_task_seq_++;
+  task.require_on_demand = job.require_on_demand;
   queue_.push_back(task);
   obs::Tracer::global().emit_counter("fleet/queue_depth", now_ * 1e6,
                                      static_cast<double>(queue_.size()));
@@ -238,8 +336,11 @@ void FleetSimulator::dispatch() {
   for (const PoolKey& pool : fleet_.pools()) {
     for (const int vm_id : fleet_.idle_in(pool)) {
       if (queue_.empty()) return;
-      const std::size_t index = policy_->pick(queue_, pool);
-      if (index == kNoTask) break;  // nothing routed here; next pool
+      const bool spot_vm = fleet_.vm(vm_id).spot;
+      const std::size_t index = policy_->pick(queue_, pool, spot_vm);
+      // Nothing this VM may run; another VM in the pool (e.g. an on-demand
+      // one, for require_on_demand tasks) could still match.
+      if (index == kNoTask) continue;
       const TaskRef task = queue_[index];
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
       start_task(vm_id, task);
@@ -250,21 +351,44 @@ void FleetSimulator::dispatch() {
 void FleetSimulator::start_task(int vm_id, const TaskRef& task) {
   Job& job = jobs_.at(task.job_id);
   VmInstance& vm = fleet_.vm(vm_id);
-  const double service = service_seconds(job, vm);
-  fleet_.assign(vm_id, job.id, now_, service);
+  const double work = service_seconds(job, vm);
+  // Checkpoint snapshots pad the schedule: the attempt occupies (and
+  // bills) work + snapshots, but only `work` advances the stage.
+  const double service =
+      config_.fault.restart == RestartModel::kCheckpoint
+          ? checkpoint::effective_seconds(
+                work, config_.fault.checkpoint_interval_seconds,
+                config_.fault.checkpoint_overhead_seconds)
+          : work;
+  fleet_.assign(vm_id, job.id, now_, service, work);
+  ++job.stage_attempts;
   obs::Tracer::global().emit_counter("fleet/queue_depth", now_ * 1e6,
                                      static_cast<double>(queue_.size()));
   if (job.first_dispatch_time < 0.0) job.first_dispatch_time = now_;
   metrics_.record_dispatch(now_ - task.enqueue_time);
 
+  // The attempt ends at the earliest of completion, spot reclaim and
+  // injected crash. Draws happen whenever their hazard is armed — never
+  // conditionally on another draw — so the RNG streams replay identically
+  // across configurations that share a hazard.
+  double reclaim_in = std::numeric_limits<double>::infinity();
   if (vm.spot) {
-    const double reclaim_in =
-        config_.fleet.spot.sample_time_to_interruption(spot_rng_);
-    if (reclaim_in < service) {
-      events_.push(now_ + reclaim_in, EventType::kSpotInterruption, job.id,
-                   vm_id);
-      return;
-    }
+    reclaim_in = config_.fleet.spot.sample_time_to_interruption(spot_rng_);
+  }
+  double crash_in = std::numeric_limits<double>::infinity();
+  if (config_.fault.crash_rate_per_hour > 0.0) {
+    cloud::SpotModel crash_hazard;
+    crash_hazard.interruptions_per_hour = config_.fault.crash_rate_per_hour;
+    crash_in = crash_hazard.sample_time_to_interruption(crash_rng_);
+  }
+  if (reclaim_in < service && reclaim_in <= crash_in) {
+    events_.push(now_ + reclaim_in, EventType::kSpotInterruption, job.id,
+                 vm_id);
+    return;
+  }
+  if (crash_in < service) {
+    events_.push(now_ + crash_in, EventType::kVmCrash, job.id, vm_id);
+    return;
   }
   events_.push(now_ + service, EventType::kTaskComplete, job.id, vm_id);
 }
@@ -280,7 +404,7 @@ double FleetSimulator::service_seconds(const Job& job,
 }
 
 std::uint64_t FleetSimulator::in_flight() const {
-  return metrics_.submitted() - metrics_.completed();
+  return metrics_.submitted() - metrics_.completed() - metrics_.failed();
 }
 
 }  // namespace edacloud::sched

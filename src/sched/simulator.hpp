@@ -2,7 +2,9 @@
 // The discrete-event cloud fleet simulator (the dynamic half of the paper's
 // problem): an open-loop stream of EDA flow jobs arrives at an autoscaled
 // fleet of priced VM pools; a pluggable policy routes each flow stage to a
-// machine; spot instances get reclaimed mid-run and retry. Everything is
+// machine; spot instances get reclaimed mid-run, VMs can fail to boot or
+// crash mid-task (FaultConfig), and killed stages retry with deterministic
+// exponential backoff, resuming from their last checkpoint. Everything is
 // driven by one seeded event queue, so a (config, seed) pair fully
 // determines the resulting FleetMetrics.
 
@@ -13,6 +15,7 @@
 
 #include "sched/autoscaler.hpp"
 #include "sched/event_queue.hpp"
+#include "sched/fault.hpp"
 #include "sched/fleet.hpp"
 #include "sched/job.hpp"
 #include "sched/load_gen.hpp"
@@ -30,6 +33,7 @@ struct SimConfig {
   LoadConfig load;
   FleetConfig fleet;
   AutoscalerConfig autoscaler;
+  FaultConfig fault;
   /// Pools pre-provisioned (already booted) at t = 0.
   std::vector<std::pair<PoolKey, int>> warm_pools;
 };
@@ -49,7 +53,11 @@ class FleetSimulator {
   void handle_arrival(const Event& event);
   void handle_boot(const Event& event);
   void handle_task_complete(const Event& event);
-  void handle_spot_interruption(const Event& event);
+  /// Shared kill path for spot reclaims and injected VM crashes: credit
+  /// surviving progress per the restart model, retire the machine, and
+  /// either schedule a backoff retry or fail the job.
+  void handle_attempt_killed(const Event& event, bool spot_reclaim);
+  void handle_task_retry(const Event& event);
   void handle_autoscaler_tick();
 
   void enqueue_stage(const Job& job);
@@ -68,8 +76,12 @@ class FleetSimulator {
   Autoscaler autoscaler_;
   LoadGenerator generator_;
   MetricsCollector metrics_;
-  util::Rng fleet_rng_;  // spot-tier assignment on launch
-  util::Rng spot_rng_;   // reclaim timing on spot VMs
+  BackoffSchedule backoff_;
+  util::Rng fleet_rng_;    // spot-tier assignment on launch
+  util::Rng spot_rng_;     // reclaim timing on spot VMs
+  util::Rng crash_rng_;    // mid-task crash timing
+  util::Rng boot_rng_;     // boot-failure coin flips
+  util::Rng backoff_rng_;  // retry jitter
 
   double now_ = 0.0;
   bool arrivals_open_ = true;

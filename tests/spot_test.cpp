@@ -55,6 +55,33 @@ TEST(SpotModelTest, SamplerIsDeterministicPerSeed) {
             spot.sample_interruptions(7200.0, b));
 }
 
+TEST(SpotModelTest, SamplerReplaysBitIdenticallyAcrossManyDraws) {
+  // The fleet simulator leans on this: replaying the same seeded stream
+  // must reproduce every event time exactly, draw after draw.
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 5.0;
+  util::Rng a(2026), b(2026);
+  for (int round = 0; round < 50; ++round) {
+    const auto first = spot.sample_interruptions(3600.0, a);
+    const auto second = spot.sample_interruptions(3600.0, b);
+    ASSERT_EQ(first.size(), second.size()) << round;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_DOUBLE_EQ(first[i], second[i]) << round;
+    }
+    EXPECT_DOUBLE_EQ(spot.sample_time_to_interruption(a),
+                     spot.sample_time_to_interruption(b))
+        << round;
+  }
+}
+
+TEST(SpotModelTest, DifferentSeedsDiverge) {
+  cloud::SpotModel spot;
+  spot.interruptions_per_hour = 5.0;
+  util::Rng a(1), b(2);
+  EXPECT_NE(spot.sample_interruptions(7200.0, a),
+            spot.sample_interruptions(7200.0, b));
+}
+
 TEST(SpotModelTest, ZeroRateSamplesNoEvents) {
   cloud::SpotModel spot;
   spot.interruptions_per_hour = 0.0;
