@@ -1,0 +1,98 @@
+// Serving-latency extension sweep (beyond the paper): an open-loop QPS
+// ladder against the in-process job server, the way mutated measures a
+// memcached box. Closed-loop clients self-limit and hide queueing; the
+// open-loop Poisson schedule keeps sending on time regardless of response
+// arrival, so once offered load crosses the knee the p99/p99.9 ladder
+// explodes while achieved throughput flattens — that knee is the number a
+// capacity planner actually needs from `edacloud_cli serve`.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "svc/loadgen.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace edacloud;
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  bench::observability_setup(argc, argv, obs::ClockMode::kWall);
+
+  // Small training corpus: the bench measures serving latency, not model
+  // accuracy, and must come up in seconds.
+  svc::ServiceConfig service_config;
+  service_config.train_designs = 4;
+  service_config.train_epochs = 4;
+  svc::Service service(service_config);
+  service.initialize();
+
+  svc::ServerConfig server_config;
+  server_config.port = 0;  // ephemeral
+  server_config.threads = 4;
+  svc::JobServer server(service, server_config);
+  std::string error;
+  if (!server.listen(&error)) {
+    std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+    return 1;
+  }
+  server.start();
+
+  // The ladder doubles through the knee. The predict mix is the serving hot
+  // path (feature-graph cache + one GCN forward pass per request).
+  const std::vector<double> ladder =
+      fast ? std::vector<double>{50, 200, 800}
+           : std::vector<double>{25, 50, 100, 200, 400, 800, 1600};
+  const double duration_s = fast ? 1.0 : 3.0;
+
+  util::Table table({"target qps", "achieved", "ok", "err", "p50 ms",
+                     "p90 ms", "p99 ms", "p99.9 ms"});
+  util::CsvWriter csv({"target_qps", "achieved_rps", "ok", "errors",
+                       "transport_errors", "p50_ms", "p90_ms", "p99_ms",
+                       "p999_ms"});
+
+  for (double qps : ladder) {
+    svc::LoadgenConfig load;
+    load.port = server.port();
+    load.mode = svc::LoadMode::kOpen;
+    load.qps = qps;
+    load.connections = 4;
+    load.duration_s = duration_s;
+    load.warmup_s = fast ? 0.25 : 0.5;
+    load.seed = 20260807;
+    load.mix = "predict";
+    const svc::LoadgenReport report = svc::run_loadgen(load);
+    const auto& lat = report.latency_ms;
+    table.add_row({fmt(qps), fmt(report.throughput_rps),
+                   std::to_string(report.ok), std::to_string(report.errors),
+                   fmt(lat.p50), fmt(lat.p90), fmt(lat.p99), fmt(lat.p999)});
+    csv.add_row({fmt(qps), fmt(report.throughput_rps),
+                 std::to_string(report.ok), std::to_string(report.errors),
+                 std::to_string(report.transport_errors), fmt(lat.p50),
+                 fmt(lat.p90), fmt(lat.p99), fmt(lat.p999)});
+  }
+
+  server.request_stop();
+  server.stop_and_join();
+
+  std::printf("Serving latency, open-loop Poisson arrivals "
+              "(4 connections, %d worker threads, predict mix)\n\n%s\n",
+              server_config.threads, table.render().c_str());
+  bench::write_csv(csv, "ext_serving_latency.csv");
+  bench::observability_flush(argc, argv);
+  return 0;
+}

@@ -12,6 +12,15 @@
 //                          [--checkpoint-interval S] [--checkpoint-overhead S]
 //                          [--max-attempts N] [--threads N]
 //                          [--trace F] [--metrics F]
+//   edacloud_cli serve   [--port N] [--threads N] [--seed N] [--max-conns N]
+//                        [--max-queue N] [--deadline-ms MS]
+//                        [--train-designs N] [--train-epochs N]
+//                        [--trace F] [--metrics F]
+//   edacloud_cli loadgen --port N [--host H] [--mode closed|open] [--qps R]
+//                        [--conns N] [--requests N] [--duration S]
+//                        [--warmup S] [--seed N]
+//                        [--mix predict|echo|mixed] [--deadline-ms MS]
+//                        [--export F]
 //
 // --trace writes a Chrome trace_event JSON file (open in Perfetto or
 // chrome://tracing); --metrics writes the unified metrics registry as JSON
@@ -21,7 +30,9 @@
 // (ASCII AIGER in, structural Verilog / Liberty / DOT out), so the tool
 // interoperates with standard logic-synthesis tooling.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -65,6 +76,17 @@ void print_usage(std::FILE* out) {
                "                         [--checkpoint-overhead SECONDS]\n"
                "                         [--max-attempts N] [--threads N]\n"
                "                         [--trace F] [--metrics F]\n"
+               "  edacloud_cli serve   [--port N] [--threads N] [--seed N]\n"
+               "                       [--max-conns N] [--max-queue N]\n"
+               "                       [--deadline-ms MS] [--train-designs N]\n"
+               "                       [--train-epochs N] [--trace F]\n"
+               "                       [--metrics F]\n"
+               "  edacloud_cli loadgen --port N [--host H]\n"
+               "                       [--mode closed|open] [--qps R]\n"
+               "                       [--conns N] [--requests N]\n"
+               "                       [--duration S] [--warmup S] [--seed N]\n"
+               "                       [--mix predict|echo|mixed]\n"
+               "                       [--deadline-ms MS] [--export F]\n"
                "Every subcommand accepts --help.\n"
                "families:");
   for (const auto& info : workloads::families()) {
@@ -451,6 +473,178 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
   return 0;
 }
 
+// serve installs signal handlers so `kill -TERM` drains in-flight work and
+// exits 0 (the contract scripts/check.sh asserts). request_stop() is
+// async-signal-safe by design.
+svc::JobServer* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  svc::ServiceConfig service_config;
+  svc::ServerConfig server_config;
+
+  const std::string port = flag_value(args, "--port");
+  if (!port.empty()) server_config.port = std::atoi(port.c_str());
+  const std::string threads = flag_value(args, "--threads");
+  if (!threads.empty()) {
+    server_config.threads = std::atoi(threads.c_str());
+    if (server_config.threads < 1) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return 2;
+    }
+  }
+  const std::string seed = flag_value(args, "--seed");
+  if (!seed.empty()) {
+    service_config.design_seed = std::strtoull(seed.c_str(), nullptr, 10);
+  }
+  const std::string max_conns = flag_value(args, "--max-conns");
+  if (!max_conns.empty()) {
+    server_config.max_connections = std::atoi(max_conns.c_str());
+  }
+  const std::string max_queue = flag_value(args, "--max-queue");
+  if (!max_queue.empty()) {
+    server_config.max_queue =
+        static_cast<std::size_t>(std::atoll(max_queue.c_str()));
+  }
+  const std::string deadline = flag_value(args, "--deadline-ms");
+  if (!deadline.empty()) {
+    server_config.default_deadline_ms = std::atof(deadline.c_str());
+  }
+  const std::string train_designs = flag_value(args, "--train-designs");
+  if (!train_designs.empty()) {
+    service_config.train_designs =
+        static_cast<std::size_t>(std::atoll(train_designs.c_str()));
+  }
+  const std::string train_epochs = flag_value(args, "--train-epochs");
+  if (!train_epochs.empty()) {
+    service_config.train_epochs = std::atoi(train_epochs.c_str());
+  }
+  const std::string trace_path = flag_value(args, "--trace");
+  const std::string metrics_path = flag_value(args, "--metrics");
+  if (!trace_path.empty()) {
+    obs::Tracer::global().enable(obs::ClockMode::kWall);
+  }
+
+  svc::Service service(service_config);
+  svc::JobServer server(service, server_config);
+  std::string error;
+  if (!server.listen(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  // Port first (parsers need it before the slow predictor training), then
+  // an explicit ready line once requests can actually be served.
+  std::printf("listening on %s:%d (threads=%d)\n",
+              server_config.host.c_str(), server.port(),
+              server_config.threads);
+  std::fflush(stdout);
+  service.initialize();
+  std::printf("ready\n");
+  std::fflush(stdout);
+
+  g_server = &server;
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  server.run();
+  g_server = nullptr;
+
+  service.stats().export_to(obs::Registry::global());
+  server.stats().export_to(obs::Registry::global());
+  std::printf("drained: %llu requests (%llu dispatched), %llu errors\n",
+              static_cast<unsigned long long>(service.stats().requests.load()),
+              static_cast<unsigned long long>(
+                  server.stats().requests_dispatched.load()),
+              static_cast<unsigned long long>(service.stats().errors.load()));
+
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    if (!obs::Tracer::global().write_json(trace_path)) return 1;
+    std::printf("wrote %s (%zu events)\n", trace_path.c_str(),
+                obs::Tracer::global().event_count());
+  }
+  if (!metrics_path.empty()) {
+    if (!obs::Registry::global().write(metrics_path)) return 1;
+    std::printf("wrote %s (%zu metrics)\n", metrics_path.c_str(),
+                obs::Registry::global().size());
+  }
+  return 0;
+}
+
+int cmd_loadgen(const std::vector<std::string>& args) {
+  svc::LoadgenConfig config;
+  const std::string port = flag_value(args, "--port");
+  config.port = std::atoi(port.c_str());
+  if (config.port < 1 || config.port > 65535) {
+    std::fprintf(stderr, "error: loadgen wants --port 1..65535\n");
+    return 2;
+  }
+  const std::string host = flag_value(args, "--host");
+  if (!host.empty()) config.host = host;
+  const std::string mode = flag_value(args, "--mode");
+  if (mode == "open") {
+    config.mode = svc::LoadMode::kOpen;
+  } else if (!mode.empty() && mode != "closed") {
+    std::fprintf(stderr, "error: --mode wants closed or open\n");
+    return 2;
+  }
+  const std::string qps = flag_value(args, "--qps");
+  if (!qps.empty()) {
+    config.qps = std::atof(qps.c_str());
+    if (config.qps <= 0.0) {
+      std::fprintf(stderr, "error: --qps wants a positive rate\n");
+      return 2;
+    }
+  }
+  const std::string conns = flag_value(args, "--conns");
+  if (!conns.empty()) {
+    config.connections = std::atoi(conns.c_str());
+    if (config.connections < 1) {
+      std::fprintf(stderr, "error: --conns wants a positive integer\n");
+      return 2;
+    }
+  }
+  const std::string requests = flag_value(args, "--requests");
+  if (!requests.empty()) {
+    config.requests = std::strtoull(requests.c_str(), nullptr, 10);
+  }
+  const std::string duration = flag_value(args, "--duration");
+  if (!duration.empty()) config.duration_s = std::atof(duration.c_str());
+  const std::string warmup = flag_value(args, "--warmup");
+  if (!warmup.empty()) config.warmup_s = std::atof(warmup.c_str());
+  const std::string seed = flag_value(args, "--seed");
+  if (!seed.empty()) {
+    config.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  }
+  const std::string mix = flag_value(args, "--mix");
+  if (!mix.empty()) {
+    if (mix != "predict" && mix != "echo" && mix != "mixed") {
+      std::fprintf(stderr, "error: --mix wants predict, echo or mixed\n");
+      return 2;
+    }
+    config.mix = mix;
+  }
+  const std::string deadline = flag_value(args, "--deadline-ms");
+  if (!deadline.empty()) config.deadline_ms = std::atof(deadline.c_str());
+
+  const svc::LoadgenReport report = svc::run_loadgen(config);
+  std::printf("%s", report.render().c_str());
+
+  const std::string export_path = flag_value(args, "--export");
+  if (!export_path.empty() &&
+      !write_file(export_path, report.export_json() + "\n")) {
+    return 1;
+  }
+  // Transport-level failures (lost connections, missing replies) mean the
+  // measurement is unreliable; surface that in the exit code.
+  return report.transport_errors == 0 ? 0 : 1;
+}
+
 int cmd_lib(const std::vector<std::string>& args) {
   const nl::CellLibrary library = nl::make_generic_14nm_library();
   const std::string text = nl::write_liberty(library);
@@ -488,6 +682,18 @@ int main(int argc, char** argv) {
          "--spot", "--interruption-rate", "--crash-rate", "--boot-fail",
          "--restart", "--checkpoint-interval", "--checkpoint-overhead",
          "--max-attempts", "--threads", "--trace", "--metrics"},
+        {}}},
+      {"serve",
+       cmd_serve,
+       {{"--port", "--threads", "--seed", "--max-conns", "--max-queue",
+         "--deadline-ms", "--train-designs", "--train-epochs", "--trace",
+         "--metrics"},
+        {}}},
+      {"loadgen",
+       cmd_loadgen,
+       {{"--host", "--port", "--mode", "--qps", "--conns", "--requests",
+         "--duration", "--warmup", "--seed", "--mix", "--deadline-ms",
+         "--export"},
         {}}},
   };
 

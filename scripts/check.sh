@@ -93,6 +93,107 @@ trace_smoke() {
 
 trace_smoke
 
+# Serving smoke-run: bring up the real job server on an ephemeral port,
+# drive it with the seeded loadgen, and fail tier-1 if same-seed exports
+# stop being byte-identical — including across server thread counts — or if
+# a signal no longer drains cleanly (docs/SERVING.md).
+serving_smoke() {
+  local cli="build/examples/edacloud_cli"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  # Tiny training corpus: the smoke checks the serving path, not the model.
+  local train_flags=(--train-designs 2 --train-epochs 2)
+
+  start_server() {
+    local log="$1" threads="$2"
+    "${cli}" serve --port 0 --threads "${threads}" "${train_flags[@]}" \
+      > "${log}" 2>&1 &
+    server_pid=$!
+    # The server prints "listening on host:port" before training and
+    # "ready" after; wait for the latter so loadgen never races startup.
+    for _ in $(seq 1 300); do
+      grep -q '^ready$' "${log}" 2>/dev/null && break
+      kill -0 "${server_pid}" 2>/dev/null || {
+        echo "serving smoke: server died during startup" >&2
+        cat "${log}" >&2
+        return 1
+      }
+      sleep 0.1
+    done
+    grep -q '^ready$' "${log}" || {
+      echo "serving smoke: server never became ready" >&2
+      return 1
+    }
+    server_port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+      "${log}" | head -n 1)"
+    [[ -n "${server_port}" ]] || {
+      echo "serving smoke: could not parse port from server log" >&2
+      return 1
+    }
+  }
+
+  stop_server() {
+    # SIGTERM first; some environments reserve it (wait reports 143 with no
+    # drain), so fall back to SIGINT — both trigger the same graceful drain.
+    local pid="$1" log="$2" status=0
+    kill -TERM "${pid}" 2>/dev/null || true
+    wait "${pid}" || status=$?
+    if [[ "${status}" -ne 0 && "${status}" -ne 143 ]]; then
+      echo "serving smoke: server exited ${status} on SIGTERM" >&2
+      return 1
+    fi
+    if [[ "${status}" -eq 143 ]]; then
+      echo "serving smoke: SIGTERM not delivered (143); retrying SIGINT"
+      start_server "${log}" 2 || return 1
+      kill -INT "${server_pid}" 2>/dev/null || true
+      wait "${server_pid}" || {
+        echo "serving smoke: server exited nonzero on SIGINT" >&2
+        return 1
+      }
+      pid="${server_pid}"
+    fi
+    grep -q '^drained:' "${log}" || {
+      echo "serving smoke: no drain line in server log" >&2
+      cat "${log}" >&2
+      return 1
+    }
+  }
+
+  echo "=== serving smoke: same-seed loadgen byte-identity ==="
+  start_server "${tmp}/serve_a.log" 2 || return 1
+  for run in 1 2; do
+    "${cli}" loadgen --port "${server_port}" --mode closed --conns 3 \
+      --requests 40 --seed 7 --mix mixed \
+      --export "${tmp}/load_${run}.json" > /dev/null
+  done
+  cmp "${tmp}/load_1.json" "${tmp}/load_2.json"
+  "${cli}" loadgen --port "${server_port}" --mode open --qps 400 --conns 3 \
+    --requests 40 --seed 7 --mix mixed \
+    --export "${tmp}/load_open.json" > /dev/null
+  cmp "${tmp}/load_1.json" "${tmp}/load_open.json"
+  stop_server "${server_pid}" "${tmp}/serve_a.log" || return 1
+
+  echo "=== serving smoke: thread-count byte-identity + signal drain ==="
+  start_server "${tmp}/serve_b.log" 8 || return 1
+  "${cli}" loadgen --port "${server_port}" --mode closed --conns 3 \
+    --requests 40 --seed 7 --mix mixed \
+    --export "${tmp}/load_t8.json" > /dev/null
+  cmp "${tmp}/load_1.json" "${tmp}/load_t8.json"
+  stop_server "${server_pid}" "${tmp}/serve_b.log" || return 1
+
+  echo "=== serving smoke: loadgen flag validation ==="
+  "${cli}" loadgen --no-such-flag 1 > /dev/null 2>&1 && {
+    echo "serving smoke: unknown loadgen flag exited 0" >&2
+    return 1
+  }
+  "${cli}" serve --help > /dev/null || return 1
+  "${cli}" loadgen --help > /dev/null || return 1
+}
+
+serving_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
 
@@ -104,7 +205,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j
   echo "=== tsan: ctest (concurrency suites) ==="
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest')
+    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest')
 fi
 
 echo "=== all passes green ==="

@@ -7,6 +7,7 @@
 // characterization + prediction + deployment-optimization pipeline
 // (core/characterize, core/predictor, core/optimizer), the discrete-event
 // cloud fleet simulator with its fault-tolerance layer (sched/simulator),
+// the network job service and its load harness (svc/server, svc/loadgen),
 // the workload generators, and the observability handles (obs). Drivers
 // and examples should include this instead of cherry-picking internals;
 // anything not reachable from here is an implementation detail.
@@ -19,5 +20,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/simulator.hpp"
+#include "svc/loadgen.hpp"
+#include "svc/server.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/registry.hpp"

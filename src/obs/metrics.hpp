@@ -48,7 +48,8 @@ class Gauge {
 };
 
 /// Fixed-bin histogram instrument (bounded memory) plus exact count / sum /
-/// min / max. Quantiles use util::Histogram's interpolated binned estimate.
+/// min / max. Quantiles use util::Histogram's interpolated binned estimate
+/// (NaN while empty — the exports serialize that as 0).
 class HistogramMetric {
  public:
   HistogramMetric(double lo, double hi, std::size_t bins)

@@ -18,13 +18,14 @@ struct Quantiles {
 
 Quantiles binned_quantiles(const std::vector<double>& values) {
   Quantiles q;
-  if (values.empty()) return q;
+  if (values.empty()) return q;  // summary() stats are NaN when empty
   const double hi = *std::max_element(values.begin(), values.end());
   util::Histogram histogram(0.0, hi > 0.0 ? hi : 1.0, 256);
   histogram.add_all(values);
-  q.p50 = histogram.quantile(0.50);
-  q.p95 = histogram.quantile(0.95);
-  q.p99 = histogram.quantile(0.99);
+  const util::Histogram::Summary s = histogram.summary();
+  q.p50 = s.p50;
+  q.p95 = s.p95;
+  q.p99 = s.p99;
   return q;
 }
 

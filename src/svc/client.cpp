@@ -1,0 +1,118 @@
+#include "svc/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace edacloud::svc {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    decoder_ = FrameDecoder();
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect(const std::string& host, int port, std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    close();
+    return false;
+  };
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("connect");
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool Client::send(const std::string& payload) {
+  if (fd_ < 0) return false;
+  const std::string frame = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recv(std::string* payload) {
+  if (fd_ < 0) return false;
+  char buf[64 * 1024];
+  while (true) {
+    if (decoder_.next(payload)) return true;
+    if (decoder_.error()) return false;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // server closed the connection
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::roundtrip(const std::string& request, std::string* response) {
+  return send(request) && recv(response);
+}
+
+bool Client::drain(std::vector<std::string>* frames) {
+  if (fd_ < 0) return false;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) return false;  // server closed the connection
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+  std::string frame;
+  while (decoder_.next(&frame)) {
+    frames->push_back(std::move(frame));
+    frame.clear();
+  }
+  return !decoder_.error();
+}
+
+}  // namespace edacloud::svc

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal blocking client for the job-server wire protocol. One TCP
+// connection, synchronous roundtrip(): send a frame, block until the
+// matching response frame arrives. The loadgen harness owns one Client per
+// simulated connection; tests use it for loopback assertions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/wire.hpp"
+
+namespace edacloud::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to host:port. False (with *error filled) on failure.
+  [[nodiscard]] bool connect(const std::string& host, int port,
+                             std::string* error);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  /// Raw socket (for poll-based callers like the open-loop loadgen).
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Send one framed payload. False on socket error.
+  [[nodiscard]] bool send(const std::string& payload);
+  /// Block until the next complete frame; false on EOF, protocol error, or
+  /// socket error.
+  [[nodiscard]] bool recv(std::string* payload);
+  /// send() + recv() — the closed-loop primitive.
+  [[nodiscard]] bool roundtrip(const std::string& request,
+                               std::string* response);
+  /// Drain readable bytes without blocking (call after poll() reports
+  /// POLLIN) and append any complete frames to *frames. False on EOF or
+  /// socket/protocol error — already-appended frames remain valid.
+  [[nodiscard]] bool drain(std::vector<std::string>* frames);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace edacloud::svc

@@ -1,0 +1,392 @@
+#include "svc/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace edacloud::svc {
+
+namespace {
+
+/// Integral values print without a fraction; everything else as %.17g so a
+/// parse -> dump round trip preserves the double exactly.
+void append_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "0";  // JSON has no NaN/Inf; serialize as 0 rather than fail
+    return;
+  }
+  char buf[40];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out += buf;
+}
+
+void append_escaped(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult parse() {
+    JsonParseResult result;
+    skip_ws();
+    if (!parse_value(result.value, &result.error)) return result;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing characters after JSON document";
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string* error, const std::string& message) {
+    char where[32];
+    std::snprintf(where, sizeof(where), " at offset %zu", pos_);
+    *error = message + where;
+    return false;
+  }
+
+  bool parse_value(JsonValue& out, std::string* error) {
+    if (++depth_ > kMaxDepth) return fail(error, "nesting too deep");
+    const bool ok = parse_value_inner(out, error);
+    --depth_;
+    return ok;
+  }
+
+  bool parse_value_inner(JsonValue& out, std::string* error) {
+    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out, error);
+      case '[':
+        return parse_array(out, error);
+      case '"': {
+        std::string s;
+        if (!parse_string(s, error)) return false;
+        out = JsonValue::of(std::move(s));
+        return true;
+      }
+      case 't':
+        return parse_literal("true", JsonValue::of(true), out, error);
+      case 'f':
+        return parse_literal("false", JsonValue::of(false), out, error);
+      case 'n':
+        return parse_literal("null", JsonValue::null(), out, error);
+      default:
+        return parse_number(out, error);
+    }
+  }
+
+  bool parse_literal(std::string_view word, JsonValue value, JsonValue& out,
+                     std::string* error) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail(error, "invalid literal");
+    }
+    pos_ += word.size();
+    out = std::move(value);
+    return true;
+  }
+
+  bool parse_number(JsonValue& out, std::string* error) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail(error, "invalid value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return fail(error, "invalid number");
+    }
+    out = JsonValue::of(value);
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string* error) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) {
+              return fail(error, "truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + 2 + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail(error, "invalid \\u escape");
+              }
+            }
+            // Basic-multilingual-plane only; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail(error, "invalid escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail(error, "unterminated string");
+  }
+
+  bool parse_array(JsonValue& out, std::string* error) {
+    out = JsonValue::array();
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item, error)) return false;
+      out.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(error, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::string* error) {
+    out = JsonValue::object();
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail(error, "expected object key");
+      }
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail(error, "expected ':'");
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.set(key, std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail(error, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail(error, "expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::set(std::string_view key, JsonValue value) {
+  type_ = Type::kObject;
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return members_.back().second;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_number() ? member->number_ : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string_view fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_string() ? member->string_
+                                                  : std::string(fallback);
+}
+
+bool JsonValue::bool_or(std::string_view key, bool fallback) const {
+  const JsonValue* member = find(key);
+  return member != nullptr && member->is_bool() ? member->bool_ : fallback;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, number_);
+      break;
+    case Type::kString:
+      append_escaped(out, string_);
+      break;
+    case Type::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        items_[i].dump_to(out);
+      }
+      out += ']';
+      break;
+    case Type::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_escaped(out, members_[i].first);
+        out += ':';
+        members_[i].second.dump_to(out);
+      }
+      out += '}';
+      break;
+  }
+}
+
+JsonParseResult parse_json(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace edacloud::svc

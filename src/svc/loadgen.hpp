@@ -1,0 +1,76 @@
+#pragma once
+// Load-generation harness for the job server, in the mutated idiom: a
+// closed-loop mode (each connection keeps exactly one request in flight —
+// measures service latency under self-limiting load) and an open-loop mode
+// (requests depart on a Poisson schedule at a target aggregate QPS,
+// independent of response arrival — measures latency the way real clients
+// experience it, coordinated-omission-free).
+//
+// Determinism contract: the request stream is a pure function of
+// (seed, request id) — which connection or wall-clock instant carries a
+// request never changes its content. The export_json() report therefore
+// contains only schedule-independent fields (counts and an order-canonical
+// digest over (id, response) pairs), so two same-seed runs against
+// deterministic servers produce byte-identical exports — the property
+// scripts/check.sh cmp-checks across server thread counts.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/histogram.hpp"
+
+namespace edacloud::svc {
+
+enum class LoadMode { kClosed, kOpen };
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  LoadMode mode = LoadMode::kClosed;
+  /// Open-loop aggregate target, split evenly across connections.
+  double qps = 50.0;
+  int connections = 4;
+  /// Fixed request budget (the deterministic CI mode). 0 = run by time.
+  std::uint64_t requests = 0;
+  /// Measured window when requests == 0.
+  double duration_s = 5.0;
+  /// Time-mode only: latencies recorded before this cutoff are discarded
+  /// (connections ramp, caches warm). Counts/digest still include them.
+  double warmup_s = 1.0;
+  std::uint64_t seed = 1;
+  /// Request mix: "predict" | "echo" | "mixed" (see make_request()).
+  std::string mix = "predict";
+  /// Attached to every request when > 0.
+  double deadline_ms = 0.0;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;           // ok:false replies
+  std::uint64_t transport_errors = 0; // lost connections / missing replies
+  std::array<std::uint64_t, 5> by_type{};  // indexed by RequestType
+  double elapsed_s = 0.0;
+  double throughput_rps = 0.0;
+  util::Histogram::Summary latency_ms{};
+  /// FNV-1a over (id, response payload) folded in ascending id order.
+  std::uint64_t digest = 0;
+
+  /// Deterministic subset (counts + digest, no timings) — what check.sh
+  /// byte-compares between same-seed runs.
+  [[nodiscard]] std::string export_json() const;
+  /// Human-facing table with throughput and the latency ladder.
+  [[nodiscard]] std::string render() const;
+};
+
+/// The request payload for a given id under `mix` — pure function of
+/// (seed, id), exposed for tests.
+[[nodiscard]] std::string make_request(const LoadgenConfig& config,
+                                       std::uint64_t id);
+
+/// Run the configured load against host:port. Throws std::runtime_error if
+/// no connection can be established.
+[[nodiscard]] LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+}  // namespace edacloud::svc

@@ -1,0 +1,85 @@
+#pragma once
+// The svc request/response schema over svc::JsonValue (docs/SERVING.md has
+// the full spec). A request is one JSON object per frame:
+//
+//   {"type":"predict","id":7,"family":"adder","size":64,"job":"routing"}
+//
+// with four real request types (characterize / predict / optimize /
+// run-stage) dispatched onto the core APIs, plus "echo" as a diagnostic
+// (optional server-side sleep — the overload and deadline tests use it).
+// Responses echo the id: {"id":7,"ok":true,"type":...,"payload":{...}} or
+// {"id":7,"ok":false,"error":"<code>","message":"..."} with the stable
+// error codes below.
+
+#include <cstdint>
+#include <string>
+
+#include "core/flow.hpp"
+#include "svc/json.hpp"
+
+namespace edacloud::svc {
+
+enum class RequestType : int {
+  kCharacterize = 0,
+  kPredict,
+  kOptimize,
+  kRunStage,
+  kEcho,
+};
+
+[[nodiscard]] const char* to_string(RequestType type);
+
+/// Stable machine-readable error codes (the `error` field).
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnknownType = "unknown_type";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char* kErrInternal = "internal";
+
+struct Request {
+  RequestType type = RequestType::kEcho;
+  std::uint64_t id = 0;
+  // Design selection (characterize / predict / optimize / run-stage).
+  std::string family;
+  int size = 0;
+  // predict: which application's model to query.
+  core::JobKind job = core::JobKind::kSynthesis;
+  // optimize: deadline for the MCKP plan, and whether to offer spot tiers.
+  double deadline_seconds = 0.0;
+  bool spot = false;
+  // run-stage: how deep into the flow to go ("synth".."sta").
+  core::JobKind stage = core::JobKind::kSynthesis;
+  // echo diagnostics.
+  std::string payload;
+  int sleep_ms = 0;
+  // Per-request deadline budget in milliseconds (0 = none). Enforced at
+  // dispatch: a request still queued past its deadline is answered with
+  // `deadline_exceeded` instead of being executed.
+  double deadline_ms = 0.0;
+};
+
+struct ParsedRequest {
+  bool ok = false;
+  Request request;
+  std::string error;                    // human-readable parse failure
+  const char* code = kErrBadRequest;    // machine code for the error reply
+};
+
+/// Validate and convert one parsed JSON request object. The id (when
+/// present and numeric) survives even on failure so error replies can
+/// still be correlated.
+[[nodiscard]] ParsedRequest parse_request(const JsonValue& value);
+
+/// {"id":N,"ok":false,"error":code,"message":message} — already dumped.
+[[nodiscard]] std::string error_response(std::uint64_t id, const char* code,
+                                         const std::string& message);
+
+/// Start of a success reply; the caller attaches "payload" and dumps.
+[[nodiscard]] JsonValue response_header(const Request& request);
+
+/// "synthesis" / "placement" / "routing" / "sta" <-> JobKind (the wire
+/// names; also accepts the short stage aliases synth/place/route).
+[[nodiscard]] bool job_from_name(const std::string& name,
+                                 core::JobKind* out);
+
+}  // namespace edacloud::svc

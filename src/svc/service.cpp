@@ -1,0 +1,297 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "cloud/savings.hpp"
+#include "core/dataset.hpp"
+#include "core/stage.hpp"
+#include "nl/star_graph.hpp"
+#include "obs/trace.hpp"
+#include "synth/engine.hpp"
+#include "util/log.hpp"
+#include "workloads/registry.hpp"
+
+namespace edacloud::svc {
+
+namespace {
+
+/// Unlabeled feature graph for prediction (the training-time counterpart
+/// lives in core/dataset.cpp and additionally carries runtime labels).
+std::shared_ptr<const ml::GraphSample> sample_from_graph(
+    const nl::DesignGraph& graph) {
+  auto sample = std::make_shared<ml::GraphSample>();
+  sample->in_neighbors = nl::transpose(graph.forward);
+  sample->features = ml::Matrix(graph.node_count(), nl::kNodeFeatureDim);
+  std::copy(graph.features.begin(), graph.features.end(),
+            sample->features.data().begin());
+  return sample;
+}
+
+JsonValue runtime_array(const std::array<double, 4>& runtimes) {
+  JsonValue out = JsonValue::array();
+  for (const double r : runtimes) out.push_back(JsonValue::of(r));
+  return out;
+}
+
+}  // namespace
+
+void ServiceStats::export_to(obs::Registry& registry) const {
+  registry.counter("svc.requests").add(requests.load());
+  registry.counter("svc.errors").add(errors.load());
+  for (int t = 0; t < 5; ++t) {
+    registry
+        .counter("svc.requests_by_type",
+                 {{"type", to_string(static_cast<RequestType>(t))}})
+        .add(by_type[t].load());
+  }
+}
+
+Service::Service(ServiceConfig config)
+    : config_(config), library_(nl::make_generic_14nm_library()) {}
+
+Service::~Service() = default;
+
+void Service::initialize() {
+  if (trained_) return;
+  // First N families at their smallest corpus size — tiny designs, so the
+  // instrumented corpus flows and the GCN epochs finish in seconds.
+  std::vector<workloads::BenchmarkSpec> specs;
+  for (const auto& info : workloads::families()) {
+    if (specs.size() >= config_.train_designs) break;
+    workloads::BenchmarkSpec spec;
+    spec.family = info.name;
+    spec.size = info.corpus_sizes.empty() ? 32 : info.corpus_sizes.front();
+    spec.seed = config_.design_seed;
+    specs.push_back(spec);
+  }
+
+  core::DatasetOptions dataset_options;
+  dataset_options.max_recipes = std::max<std::size_t>(1, config_.train_recipes);
+  dataset_options.max_netlists = specs.size() * dataset_options.max_recipes;
+  const core::Dataset dataset =
+      core::DatasetBuilder(library_, dataset_options).build(specs);
+
+  core::PredictorOptions predictor_options;
+  predictor_options.gcn = ml::GcnConfig::fast();
+  predictor_options.gcn.epochs = config_.train_epochs;
+  predictor_ = core::RuntimePredictor(predictor_options);
+  predictor_.train(dataset);
+  trained_ = true;
+  EDACLOUD_INFO << "svc: predictor trained on " << dataset.netlist_count
+                << " netlists from " << dataset.design_count << " designs";
+}
+
+std::string Service::handle_payload(const std::string& payload) {
+  const JsonParseResult parsed = parse_json(payload);
+  if (!parsed.ok) {
+    return error_response(0, kErrBadRequest, "invalid JSON: " + parsed.error);
+  }
+  const ParsedRequest request = parse_request(parsed.value);
+  if (!request.ok) {
+    return error_response(request.request.id, request.code, request.error);
+  }
+  return handle(request.request);
+}
+
+std::string Service::handle(const Request& request) {
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  stats_.by_type[static_cast<int>(request.type)].fetch_add(
+      1, std::memory_order_relaxed);
+  const std::string span_name = std::string("svc/") + to_string(request.type);
+  TRACE_SPAN(span_name, "svc");
+  try {
+    JsonValue response = response_header(request);
+    JsonValue payload;
+    switch (request.type) {
+      case RequestType::kCharacterize:
+        payload = do_characterize(request);
+        break;
+      case RequestType::kPredict:
+        payload = do_predict(request);
+        break;
+      case RequestType::kOptimize:
+        payload = do_optimize(request);
+        break;
+      case RequestType::kRunStage:
+        payload = do_run_stage(request);
+        break;
+      case RequestType::kEcho:
+        payload = do_echo(request);
+        break;
+    }
+    response.set("payload", std::move(payload));
+    return response.dump();
+  } catch (const std::exception& e) {
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    return error_response(request.id, kErrInternal, e.what());
+  }
+}
+
+nl::Aig Service::make_design(const Request& request) const {
+  workloads::BenchmarkSpec spec;
+  spec.family = request.family;
+  spec.size = request.size;
+  spec.seed = config_.design_seed;
+  return workloads::generate(spec);
+}
+
+std::shared_ptr<const ml::GraphSample> Service::sample_for(
+    const Request& request, core::JobKind job) {
+  const bool aig_side = job == core::JobKind::kSynthesis;
+  const std::string key =
+      request.family + "/" + std::to_string(request.size);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto& cache = aig_side ? aig_samples_ : netlist_samples_;
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock (concurrent misses may duplicate work once;
+  // first insertion wins so every caller sees one canonical sample).
+  const nl::Aig design = make_design(request);
+  std::shared_ptr<const ml::GraphSample> sample;
+  if (aig_side) {
+    sample = sample_from_graph(nl::graph_from_aig(design));
+  } else {
+    synth::SynthesisEngine engine(library_);
+    const auto mapped = engine.synthesize(design, synth::default_recipe());
+    sample = sample_from_graph(nl::graph_from_netlist(mapped.netlist));
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto& cache = aig_side ? aig_samples_ : netlist_samples_;
+  const auto [it, inserted] = cache.emplace(key, std::move(sample));
+  return it->second;
+}
+
+JsonValue Service::do_characterize(const Request& request) {
+  const nl::Aig design = make_design(request);
+  // Instrumented flows publish into the process-global registry; one at a
+  // time (see the class comment).
+  std::lock_guard<std::mutex> lock(instrumented_mutex_);
+  const core::Characterizer characterizer(library_);
+  const core::CharacterizationReport report =
+      characterizer.characterize(design);
+
+  JsonValue payload = JsonValue::object();
+  payload.set("design", JsonValue::of(report.design_name));
+  payload.set("instances", JsonValue::of(
+                               static_cast<double>(report.instance_count)));
+  JsonValue rows = JsonValue::array();
+  for (const auto& row : report.rows) {
+    JsonValue entry = JsonValue::object();
+    entry.set("job", JsonValue::of(core::job_name(row.job)));
+    entry.set("family", JsonValue::of(std::string(perf::to_string(
+                            row.family))));
+    entry.set("runtime_seconds", runtime_array(row.runtime_seconds));
+    entry.set("speedup", runtime_array(row.speedup));
+    rows.push_back(std::move(entry));
+  }
+  payload.set("rows", std::move(rows));
+  return payload;
+}
+
+JsonValue Service::do_predict(const Request& request) {
+  if (!trained_) {
+    throw std::runtime_error("predictor not trained (initialize() skipped)");
+  }
+  const auto sample = sample_for(request, request.job);
+  const std::array<double, 4> runtimes =
+      predictor_.predict(request.job, *sample);
+
+  JsonValue payload = JsonValue::object();
+  payload.set("family", JsonValue::of(request.family));
+  payload.set("size", JsonValue::of(request.size));
+  payload.set("job", JsonValue::of(core::job_name(request.job)));
+  JsonValue vcpus = JsonValue::array();
+  for (const int v : {1, 2, 4, 8}) vcpus.push_back(JsonValue::of(v));
+  payload.set("vcpus", std::move(vcpus));
+  payload.set("runtime_seconds", runtime_array(runtimes));
+  return payload;
+}
+
+JsonValue Service::do_optimize(const Request& request) {
+  if (!trained_) {
+    throw std::runtime_error("predictor not trained (initialize() skipped)");
+  }
+  core::RuntimeLadders ladders{};
+  for (const core::JobKind job : core::kAllJobs) {
+    const auto sample = sample_for(request, job);
+    ladders[static_cast<int>(job)] = predictor_.predict(job, *sample);
+  }
+  core::DeploymentOptimizer optimizer;
+  if (request.spot) optimizer.enable_spot(cloud::SpotModel{});
+  const core::DeploymentPlan plan =
+      optimizer.optimize(ladders, request.deadline_seconds);
+
+  JsonValue payload = JsonValue::object();
+  payload.set("family", JsonValue::of(request.family));
+  payload.set("size", JsonValue::of(request.size));
+  payload.set("deadline_s", JsonValue::of(request.deadline_seconds));
+  payload.set("feasible", JsonValue::of(plan.feasible));
+  if (!plan.feasible) {
+    const auto stages = optimizer.build_stages(ladders);
+    payload.set("fastest_possible_s",
+                JsonValue::of(cloud::fastest_completion_seconds(stages)));
+    return payload;
+  }
+  JsonValue entries = JsonValue::array();
+  for (const auto& entry : plan.entries) {
+    JsonValue e = JsonValue::object();
+    e.set("job", JsonValue::of(core::job_name(entry.job)));
+    e.set("family",
+          JsonValue::of(std::string(perf::to_string(entry.family))));
+    e.set("vcpus", JsonValue::of(entry.vcpus));
+    e.set("tier", JsonValue::of(entry.spot ? "spot" : "on-demand"));
+    e.set("runtime_s", JsonValue::of(entry.runtime_seconds));
+    e.set("cost_usd", JsonValue::of(entry.cost_usd));
+    entries.push_back(std::move(e));
+  }
+  payload.set("entries", std::move(entries));
+  payload.set("total_runtime_s", JsonValue::of(plan.total_runtime_seconds));
+  payload.set("total_cost_usd", JsonValue::of(plan.total_cost_usd));
+  return payload;
+}
+
+JsonValue Service::do_run_stage(const Request& request) {
+  const nl::Aig design = make_design(request);
+  // Engines run serially within a request (threads stay at the global
+  // default); parallelism comes from concurrent requests. Results are
+  // bit-identical either way (the PR-3 determinism contract).
+  core::FlowOptions options;
+  core::FlowResult flow;
+  flow.design_name = design.name();
+  core::StageContext ctx;
+  ctx.library = &library_;
+  ctx.flow = &flow;
+  ctx.tracer = &obs::Tracer::global();
+  ctx.metrics = &obs::Registry::global();
+
+  core::StageResult last;
+  for (const auto& engine : core::make_flow_engines(options)) {
+    last = engine->run(design, ctx);
+    if (engine->kind() == request.stage) break;
+  }
+
+  JsonValue payload = JsonValue::object();
+  payload.set("design", JsonValue::of(flow.design_name));
+  payload.set("stage", JsonValue::of(core::job_name(request.stage)));
+  JsonValue qor = JsonValue::object();
+  for (const auto& item : last.qor) {
+    qor.set(item.name, JsonValue::of(item.value));
+  }
+  payload.set("qor", std::move(qor));
+  return payload;
+}
+
+JsonValue Service::do_echo(const Request& request) {
+  if (request.sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(request.sleep_ms));
+  }
+  JsonValue payload = JsonValue::object();
+  payload.set("payload", JsonValue::of(request.payload));
+  return payload;
+}
+
+}  // namespace edacloud::svc

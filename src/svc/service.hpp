@@ -1,0 +1,112 @@
+#pragma once
+// The serving façade: one Service owns the cell library, a GCN runtime
+// predictor trained at startup from a small seeded corpus, and per-design
+// caches, and turns parsed svc::Requests into JSON response payloads by
+// dispatching onto the existing core APIs —
+//
+//   characterize -> core::Characterizer        (Fig. 2 rows)
+//   predict      -> core::RuntimePredictor     (GCN runtime ladder)
+//   optimize     -> core::DeploymentOptimizer  (MCKP deployment plan)
+//   run-stage    -> core::make_flow_engines    (StageEngine contract)
+//
+// handle() is thread-safe: predict/optimize/run-stage execute fully in
+// parallel (engines run serially per request, requests spread across the
+// server's worker threads), while characterize serializes internally
+// because instrumented flows publish into the process-global obs
+// registry. Every response is deterministic for a fixed ServiceConfig —
+// same request, same bytes, at any worker-thread count — which the
+// loadgen digest checks and the threads-1-vs-8 loopback test enforce.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/characterize.hpp"
+#include "core/optimizer.hpp"
+#include "core/predictor.hpp"
+#include "ml/gcn.hpp"
+#include "nl/cell_library.hpp"
+#include "obs/metrics.hpp"
+#include "svc/protocol.hpp"
+
+namespace edacloud::svc {
+
+struct ServiceConfig {
+  /// Startup training corpus: first `train_designs` families at their
+  /// smallest corpus size, `train_recipes` recipe variants each. Small by
+  /// design — the service must come up in seconds; accuracy-critical
+  /// deployments raise these (and train_epochs) via the CLI flags.
+  std::size_t train_designs = 8;
+  std::size_t train_recipes = 1;
+  int train_epochs = 30;
+  /// Seed for generated request designs (the CLI convention is 7 — the
+  /// same designs `edacloud_cli gen/flow` produce).
+  std::uint64_t design_seed = 7;
+};
+
+/// Lifetime request counters (relaxed atomics — workers bump them
+/// concurrently; export_to reads after the server drained).
+struct ServiceStats {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> by_type[5] = {};
+
+  void export_to(obs::Registry& registry) const;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  ~Service();
+
+  /// Train the runtime predictor from the seeded corpus. Idempotent;
+  /// deterministic for a fixed config. Call before serving — predict and
+  /// optimize answer `internal` errors until trained.
+  void initialize();
+  [[nodiscard]] bool ready() const { return trained_; }
+
+  /// Parse one frame payload and dispatch; never throws — malformed JSON,
+  /// invalid requests and handler failures all come back as error
+  /// responses (kErrBadRequest / kErrUnknownType / kErrInternal).
+  [[nodiscard]] std::string handle_payload(const std::string& payload);
+
+  /// Dispatch one parsed request; returns the dumped response.
+  [[nodiscard]] std::string handle(const Request& request);
+
+  [[nodiscard]] const ServiceStats& stats() const { return stats_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  JsonValue do_characterize(const Request& request);
+  JsonValue do_predict(const Request& request);
+  JsonValue do_optimize(const Request& request);
+  JsonValue do_run_stage(const Request& request);
+  JsonValue do_echo(const Request& request);
+
+  [[nodiscard]] nl::Aig make_design(const Request& request) const;
+  /// Feature graph for `job` on the request's design, via the per-design
+  /// cache (AIG graph for synthesis, synthesized-netlist graph otherwise).
+  [[nodiscard]] std::shared_ptr<const ml::GraphSample> sample_for(
+      const Request& request, core::JobKind job);
+
+  ServiceConfig config_;
+  nl::CellLibrary library_;
+  core::RuntimePredictor predictor_;
+  bool trained_ = false;
+  ServiceStats stats_;
+
+  /// Serializes instrumented flows: they publish QoR gauges and perf
+  /// measurements into the process-global obs::Registry.
+  std::mutex instrumented_mutex_;
+
+  /// family:size -> feature graphs (predict/optimize hot path).
+  std::mutex cache_mutex_;
+  std::map<std::string, std::shared_ptr<const ml::GraphSample>> aig_samples_;
+  std::map<std::string, std::shared_ptr<const ml::GraphSample>>
+      netlist_samples_;
+};
+
+}  // namespace edacloud::svc

@@ -1,0 +1,43 @@
+#include "svc/wire.hpp"
+
+#include <cstring>
+
+namespace edacloud::svc {
+
+std::string encode_frame(std::string_view payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame += static_cast<char>((length >> 24) & 0xFF);
+  frame += static_cast<char>((length >> 16) & 0xFF);
+  frame += static_cast<char>((length >> 8) & 0xFF);
+  frame += static_cast<char>(length & 0xFF);
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t length) {
+  if (oversized_) return;
+  buffer_.append(data, length);
+}
+
+bool FrameDecoder::next(std::string* out) {
+  if (oversized_ || buffer_.size() < 4) return false;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+  if (length > kMaxFramePayload) {
+    oversized_ = true;
+    rejected_length_ = length;
+    buffer_.clear();
+    return false;
+  }
+  if (buffer_.size() < 4u + length) return false;  // truncated: wait for more
+  out->assign(buffer_, 4, length);
+  buffer_.erase(0, 4u + length);
+  return true;
+}
+
+}  // namespace edacloud::svc

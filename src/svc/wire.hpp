@@ -1,0 +1,53 @@
+#pragma once
+// Length-prefixed framing for the svc wire protocol (docs/SERVING.md):
+// every message is a 4-byte big-endian payload length followed by that
+// many bytes of UTF-8 JSON. The decoder is incremental — feed it whatever
+// the socket produced and pop complete frames — and rejects frames whose
+// declared length exceeds kMaxFramePayload before buffering them, so a
+// hostile or corrupt length word cannot make the server allocate
+// gigabytes. A decoder in the error state stays there; the owning
+// connection must be closed.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace edacloud::svc {
+
+/// Upper bound on one frame's JSON payload. Requests are tiny; responses
+/// (characterization tables) stay well under this.
+constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+/// 4-byte big-endian length + payload bytes.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+class FrameDecoder {
+ public:
+  /// Append raw socket bytes to the reassembly buffer. No-op in the error
+  /// state.
+  void feed(const char* data, std::size_t length);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Pop the next complete payload into `out`; false when no full frame is
+  /// buffered yet (or the decoder is in the error state).
+  bool next(std::string* out);
+
+  /// True once a frame declared a length above kMaxFramePayload. The
+  /// connection is unrecoverable: subsequent bytes have no frame boundary.
+  [[nodiscard]] bool error() const { return oversized_; }
+  /// Declared length of the rejected frame (error() == true only).
+  [[nodiscard]] std::uint32_t rejected_length() const {
+    return rejected_length_;
+  }
+
+  /// Bytes currently buffered (tests / backpressure accounting).
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool oversized_ = false;
+  std::uint32_t rejected_length_ = 0;
+};
+
+}  // namespace edacloud::svc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "util/strings.hpp"
 
@@ -24,6 +25,7 @@ void Histogram::add(double value) {
   bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
+  sum_ += value;
 }
 
 void Histogram::add_all(const std::vector<double>& values) {
@@ -31,7 +33,9 @@ void Histogram::add_all(const std::vector<double>& values) {
 }
 
 double Histogram::quantile(double q) const {
-  if (total_ == 0 || std::isnan(q)) return lo_;
+  if (total_ == 0 || std::isnan(q)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   q = std::clamp(q, 0.0, 1.0);  // out-of-range q saturates to min/max
   const double target = q * static_cast<double>(total_);
   double cumulative = 0.0;
@@ -46,6 +50,23 @@ double Histogram::quantile(double q) const {
     cumulative += count;
   }
   return hi_;
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = total_;
+  if (total_ == 0) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.mean = s.p50 = s.p90 = s.p95 = s.p99 = s.p999 = nan;
+    return s;
+  }
+  s.mean = sum_ / static_cast<double>(total_);
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  s.p999 = quantile(0.999);
+  return s;
 }
 
 double Histogram::bin_lo(std::size_t bin) const {

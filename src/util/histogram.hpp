@@ -22,14 +22,31 @@ class Histogram {
     return counts_[bin];
   }
   [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
   /// Quantile q in [0, 1] with linear interpolation inside the containing
   /// bin (the standard binned-quantile estimate: walk the cumulative counts
   /// to the bin holding rank q*total, then interpolate across its span).
-  /// Returns `lo` for an empty histogram or NaN q; out-of-range q clamps.
+  /// Returns NaN for an empty histogram or NaN q — callers that render or
+  /// serialize must guard on total() first. Out-of-range q clamps to [0, 1].
   [[nodiscard]] double quantile(double q) const;
+
+  /// The standard tail-latency digest (count/mean plus the p50..p99.9
+  /// ladder) in one call — loadgen reports and FleetMetrics both consume
+  /// this instead of hand-rolling quantile lists. Every statistic except
+  /// `count` is NaN when the histogram is empty (see quantile()).
+  struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double p999 = 0.0;
+  };
+  [[nodiscard]] Summary summary() const;
 
   /// Horizontal bar chart, one line per bin.
   [[nodiscard]] std::string render(std::size_t max_bar_width = 50) const;
@@ -39,6 +56,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace edacloud::util

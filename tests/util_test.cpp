@@ -243,11 +243,13 @@ TEST(HistogramTest, BinEdges) {
   EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
 }
 
-TEST(HistogramTest, QuantileEmptyReturnsLowerBound) {
+TEST(HistogramTest, QuantileEmptyReturnsNan) {
+  // Documented contract: an empty histogram has no quantiles, and the NaN
+  // makes forgetting the total() guard loud instead of silently plausible.
   Histogram h(2.0, 10.0, 4);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
 }
 
 TEST(HistogramTest, QuantileSingleSample) {
@@ -269,7 +271,41 @@ TEST(HistogramTest, QuantileOutOfRangeQClamps) {
   h.add(0.75);
   EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
   EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
-  EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), 0.0);
+  EXPECT_TRUE(std::isnan(h.quantile(std::nan(""))));
+}
+
+TEST(HistogramTest, SummaryDigest) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.0);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p90, 90.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+  EXPECT_NEAR(s.p999, 99.9, 1.0);
+  // The ladder is monotone by construction.
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.p999);
+}
+
+TEST(HistogramTest, SummaryEmptyIsNanWithZeroCount) {
+  const Histogram::Summary s = Histogram(0.0, 1.0, 4).summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.p50));
+  EXPECT_TRUE(std::isnan(s.p999));
+}
+
+TEST(HistogramTest, SumTracksAddedValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(2.5);
+  h.add(std::nan(""));  // ignored by sum too
+  EXPECT_DOUBLE_EQ(h.sum(), 3.5);
 }
 
 TEST(HistogramTest, IgnoresNanSamples) {
