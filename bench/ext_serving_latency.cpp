@@ -33,6 +33,17 @@ int main(int argc, char** argv) {
   const bool fast = bench::fast_mode(argc, argv);
   bench::observability_setup(argc, argv, obs::ClockMode::kWall);
 
+  // --mix selects the request stream; predict-heavy (90% predicts over a
+  // wider design pool) is the stream the server's micro-batcher targets.
+  std::string mix = bench::flag_value(argc, argv, "--mix");
+  if (mix.empty()) mix = "predict";
+  if (mix != "predict" && mix != "predict-heavy" && mix != "echo" &&
+      mix != "mixed") {
+    std::fprintf(stderr,
+                 "--mix wants predict, predict-heavy, echo or mixed\n");
+    return 2;
+  }
+
   // Small training corpus: the bench measures serving latency, not model
   // accuracy, and must come up in seconds.
   svc::ServiceConfig service_config;
@@ -74,7 +85,7 @@ int main(int argc, char** argv) {
     load.duration_s = duration_s;
     load.warmup_s = fast ? 0.25 : 0.5;
     load.seed = 20260807;
-    load.mix = "predict";
+    load.mix = mix;
     const svc::LoadgenReport report = svc::run_loadgen(load);
     const auto& lat = report.latency_ms;
     table.add_row({fmt(qps), fmt(report.throughput_rps),
@@ -90,8 +101,8 @@ int main(int argc, char** argv) {
   server.stop_and_join();
 
   std::printf("Serving latency, open-loop Poisson arrivals "
-              "(4 connections, %d worker threads, predict mix)\n\n%s\n",
-              server_config.threads, table.render().c_str());
+              "(4 connections, %d worker threads, %s mix)\n\n%s\n",
+              server_config.threads, mix.c_str(), table.render().c_str());
   bench::write_csv(csv, "ext_serving_latency.csv");
   bench::observability_flush(argc, argv);
   return 0;

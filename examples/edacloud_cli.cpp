@@ -12,15 +12,19 @@
 //                          [--checkpoint-interval S] [--checkpoint-overhead S]
 //                          [--max-attempts N] [--threads N]
 //                          [--trace F] [--metrics F]
+//   edacloud_cli predict <family> <size> [--job NAME] [--batch N]
+//                        [--cache N] [--threads N] [--repeat N]
+//                        [--train-designs N] [--train-epochs N] [--verify]
 //   edacloud_cli serve   [--port N] [--threads N] [--seed N] [--max-conns N]
 //                        [--max-queue N] [--deadline-ms MS]
 //                        [--train-designs N] [--train-epochs N]
-//                        [--trace F] [--metrics F]
+//                        [--batch-max N] [--batch-linger-ms MS]
+//                        [--predict-cache N] [--trace F] [--metrics F]
 //   edacloud_cli loadgen --port N [--host H] [--mode closed|open] [--qps R]
 //                        [--conns N] [--requests N] [--duration S]
 //                        [--warmup S] [--seed N]
-//                        [--mix predict|echo|mixed] [--deadline-ms MS]
-//                        [--export F]
+//                        [--mix predict|predict-heavy|echo|mixed]
+//                        [--deadline-ms MS] [--export F]
 //
 // --trace writes a Chrome trace_event JSON file (open in Perfetto or
 // chrome://tracing); --metrics writes the unified metrics registry as JSON
@@ -30,7 +34,11 @@
 // (ASCII AIGER in, structural Verilog / Liberty / DOT out), so the tool
 // interoperates with standard logic-synthesis tooling.
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,16 +84,23 @@ void print_usage(std::FILE* out) {
                "                         [--checkpoint-overhead SECONDS]\n"
                "                         [--max-attempts N] [--threads N]\n"
                "                         [--trace F] [--metrics F]\n"
+               "  edacloud_cli predict <family> <size> [--job NAME]\n"
+               "                       [--batch N] [--cache N] [--threads N]\n"
+               "                       [--repeat N] [--train-designs N]\n"
+               "                       [--train-epochs N] [--verify]\n"
                "  edacloud_cli serve   [--port N] [--threads N] [--seed N]\n"
                "                       [--max-conns N] [--max-queue N]\n"
                "                       [--deadline-ms MS] [--train-designs N]\n"
-               "                       [--train-epochs N] [--trace F]\n"
+               "                       [--train-epochs N] [--batch-max N]\n"
+               "                       [--batch-linger-ms MS]\n"
+               "                       [--predict-cache N] [--trace F]\n"
                "                       [--metrics F]\n"
                "  edacloud_cli loadgen --port N [--host H]\n"
                "                       [--mode closed|open] [--qps R]\n"
                "                       [--conns N] [--requests N]\n"
                "                       [--duration S] [--warmup S] [--seed N]\n"
-               "                       [--mix predict|echo|mixed]\n"
+               "                       [--mix predict|predict-heavy|echo|"
+               "mixed]\n"
                "                       [--deadline-ms MS] [--export F]\n"
                "Every subcommand accepts --help.\n"
                "families:");
@@ -473,6 +488,255 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Local timing helper for cmd_predict — milliseconds across a callable.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+// predict: train a small GCN predictor, then answer a batch of runtime
+// queries over design variants two ways — the serial per-sample path and
+// the merged-batch path (ml::BatchedGcn behind
+// core::RuntimePredictor::predict_batch), optionally fronted by a
+// content-addressed ml::PredictionCache — and report both timings.
+// --verify asserts the two paths produce bit-identical runtimes (exit 1
+// otherwise); scripts/check.sh runs exactly that as its batched-inference
+// smoke leg.
+int cmd_predict(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const std::string family = args[0];
+  const int base_size = std::atoi(args[1].c_str());
+  if (base_size < 1) {
+    std::fprintf(stderr, "error: predict wants a positive <size>\n");
+    return 2;
+  }
+
+  core::JobKind job = core::JobKind::kSynthesis;
+  const std::string job_flag = flag_value(args, "--job");
+  if (!job_flag.empty()) {
+    bool found = false;
+    for (const core::JobKind candidate : core::kAllJobs) {
+      if (core::job_name(candidate) == job_flag) {
+        job = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "error: --job wants synthesis, placement, routing or sta\n");
+      return 2;
+    }
+  }
+
+  int batch = 8;
+  const std::string batch_flag = flag_value(args, "--batch");
+  if (!batch_flag.empty()) {
+    batch = std::atoi(batch_flag.c_str());
+    if (batch < 1) {
+      std::fprintf(stderr, "error: --batch wants a positive integer\n");
+      return 2;
+    }
+  }
+  long long cache_capacity = 256;
+  const std::string cache_flag = flag_value(args, "--cache");
+  if (!cache_flag.empty()) {
+    cache_capacity = std::atoll(cache_flag.c_str());
+    if (cache_capacity < 0) {
+      std::fprintf(stderr, "error: --cache wants a non-negative capacity\n");
+      return 2;
+    }
+  }
+  int repeat = 1;
+  const std::string repeat_flag = flag_value(args, "--repeat");
+  if (!repeat_flag.empty()) {
+    repeat = std::atoi(repeat_flag.c_str());
+    if (repeat < 1) {
+      std::fprintf(stderr, "error: --repeat wants a positive integer\n");
+      return 2;
+    }
+  }
+  const std::string threads = flag_value(args, "--threads");
+  if (!threads.empty()) {
+    const int n = std::atoi(threads.c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return 2;
+    }
+    // Results are bit-identical at any width (the PR 3 kernel contract,
+    // which --verify cross-checks against the serial path).
+    util::set_global_thread_count(n);
+  }
+  std::size_t train_designs = 4;
+  const std::string train_designs_flag = flag_value(args, "--train-designs");
+  if (!train_designs_flag.empty()) {
+    const long long n = std::atoll(train_designs_flag.c_str());
+    if (n < 1) {
+      std::fprintf(stderr,
+                   "error: --train-designs wants a positive integer\n");
+      return 2;
+    }
+    train_designs = static_cast<std::size_t>(n);
+  }
+  int train_epochs = 6;
+  const std::string train_epochs_flag = flag_value(args, "--train-epochs");
+  if (!train_epochs_flag.empty()) {
+    train_epochs = std::atoi(train_epochs_flag.c_str());
+    if (train_epochs < 1) {
+      std::fprintf(stderr, "error: --train-epochs wants a positive integer\n");
+      return 2;
+    }
+  }
+  const bool verify = has_flag(args, "--verify");
+
+  // Train the same way svc::Service::initialize does: first N families at
+  // their smallest corpus size, fast GCN config.
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  std::vector<workloads::BenchmarkSpec> specs;
+  for (const auto& info : workloads::families()) {
+    if (specs.size() >= train_designs) break;
+    workloads::BenchmarkSpec spec;
+    spec.family = info.name;
+    spec.size = info.corpus_sizes.empty() ? 32 : info.corpus_sizes.front();
+    spec.seed = 7;
+    specs.push_back(spec);
+  }
+  core::DatasetOptions dataset_options;
+  dataset_options.max_recipes = 1;
+  dataset_options.max_netlists = specs.size();
+  const core::Dataset dataset =
+      core::DatasetBuilder(library, dataset_options).build(specs);
+  core::PredictorOptions predictor_options;
+  predictor_options.gcn = ml::GcnConfig::fast();
+  predictor_options.gcn.epochs = train_epochs;
+  core::RuntimePredictor predictor(predictor_options);
+  (void)predictor.train(dataset);
+  if (!predictor.trained(job)) {
+    std::fprintf(stderr, "error: no trained model for job '%s'\n",
+                 core::job_name(job).c_str());
+    return 1;
+  }
+
+  // Query pool: four design-size variants of the requested family; a
+  // --batch larger than four repeats them, which is exactly the
+  // repeated-design stream the batcher's content dedup collapses.
+  constexpr int kVariants = 4;
+  const int step = std::max(4, base_size / 8);
+  std::vector<ml::GraphSample> pool;
+  std::vector<int> pool_sizes;
+  synth::SynthesisEngine engine(library);
+  for (int k = 0; k < kVariants; ++k) {
+    const int size = base_size + k * step;
+    const nl::Aig aig = generate_or_die(family, size);
+    const nl::DesignGraph graph =
+        job == core::JobKind::kSynthesis
+            ? nl::graph_from_aig(aig)
+            : nl::graph_from_netlist(
+                  engine.synthesize(aig, synth::default_recipe()).netlist);
+    pool.push_back(ml::sample_from_graph(graph));
+    pool_sizes.push_back(size);
+  }
+  std::vector<ml::ContentKey> pool_keys;
+  for (const auto& sample : pool) {
+    pool_keys.push_back(ml::content_key(sample).salted(
+        static_cast<std::uint64_t>(job) + 1));
+  }
+  std::vector<const ml::GraphSample*> queries;
+  std::vector<ml::ContentKey> keys;
+  for (int q = 0; q < batch; ++q) {
+    queries.push_back(&pool[q % kVariants]);
+    keys.push_back(pool_keys[q % kVariants]);
+  }
+
+  // Serial baseline: one forward pass per query, every repeat.
+  std::vector<std::array<double, 4>> serial(queries.size());
+  const double serial_ms = time_ms([&] {
+    for (int rep = 0; rep < repeat; ++rep) {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        serial[i] = predictor.predict(job, *queries[i]);
+      }
+    }
+  });
+
+  // Batched path: cache lookups first (when enabled), then ONE merged
+  // forward pass over the misses — the svc::Service serving pipeline.
+  ml::PredictionCache cache(static_cast<std::size_t>(cache_capacity));
+  std::vector<std::array<double, 4>> batched(queries.size());
+  const double batched_ms = time_ms([&] {
+    for (int rep = 0; rep < repeat; ++rep) {
+      std::vector<std::size_t> miss_index;
+      std::vector<const ml::GraphSample*> miss_samples;
+      std::vector<ml::ContentKey> miss_keys;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        if (cache_capacity > 0) {
+          if (const auto hit = cache.lookup(keys[i])) {
+            batched[i] = *hit;
+            continue;
+          }
+        }
+        miss_index.push_back(i);
+        miss_samples.push_back(queries[i]);
+        miss_keys.push_back(keys[i]);
+      }
+      if (!miss_samples.empty()) {
+        const auto results =
+            predictor.predict_batch(job, miss_samples, &miss_keys);
+        for (std::size_t m = 0; m < miss_index.size(); ++m) {
+          batched[miss_index[m]] = results[m];
+          if (cache_capacity > 0) cache.insert(miss_keys[m], results[m]);
+        }
+      }
+    }
+  });
+
+  if (verify) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (serial[i][j] != batched[i][j]) {
+          std::fprintf(stderr,
+                       "verify: MISMATCH at query %zu vcpu-lane %d: "
+                       "serial %.17g vs batched %.17g\n",
+                       i, j, serial[i][j], batched[i][j]);
+          return 1;
+        }
+      }
+    }
+    std::printf("verify: OK — batched == serial over %zu queries x %d "
+                "repeats\n",
+                queries.size(), repeat);
+  }
+
+  util::Table table({"Design", "Job", "1 vCPU (s)", "2 vCPUs (s)",
+                     "4 vCPUs (s)", "8 vCPUs (s)"});
+  for (int k = 0; k < kVariants && k < batch; ++k) {
+    table.add_row({family + ":" + std::to_string(pool_sizes[k]),
+                   core::job_name(job),
+                   util::format_fixed(batched[static_cast<std::size_t>(k)][0], 1),
+                   util::format_fixed(batched[static_cast<std::size_t>(k)][1], 1),
+                   util::format_fixed(batched[static_cast<std::size_t>(k)][2], 1),
+                   util::format_fixed(batched[static_cast<std::size_t>(k)][3], 1)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "%d queries x %d repeats: serial %.1f ms, batched %.1f ms "
+      "(%.2fx)\n",
+      batch, repeat, serial_ms, batched_ms,
+      batched_ms > 0.0 ? serial_ms / batched_ms : 0.0);
+  if (cache_capacity > 0) {
+    const auto stats = cache.stats();
+    std::printf("cache: %llu hits, %llu misses, %llu insertions, "
+                "%llu evictions (capacity %lld)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.insertions),
+                static_cast<unsigned long long>(stats.evictions),
+                cache_capacity);
+  }
+  return 0;
+}
+
 // serve installs signal handlers so `kill -TERM` drains in-flight work and
 // exits 0 (the contract scripts/check.sh asserts). request_stop() is
 // async-signal-safe by design.
@@ -522,6 +786,34 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (!train_epochs.empty()) {
     service_config.train_epochs = std::atoi(train_epochs.c_str());
   }
+  const std::string batch_max = flag_value(args, "--batch-max");
+  if (!batch_max.empty()) {
+    server_config.batch_max = std::atoi(batch_max.c_str());
+    if (server_config.batch_max < 1) {
+      std::fprintf(stderr, "error: --batch-max wants a positive integer\n");
+      return 2;
+    }
+  }
+  const std::string linger = flag_value(args, "--batch-linger-ms");
+  if (!linger.empty()) {
+    server_config.batch_linger_ms = std::atof(linger.c_str());
+    if (server_config.batch_linger_ms < 0.0) {
+      std::fprintf(stderr,
+                   "error: --batch-linger-ms wants a non-negative value\n");
+      return 2;
+    }
+  }
+  const std::string predict_cache = flag_value(args, "--predict-cache");
+  if (!predict_cache.empty()) {
+    const long long capacity = std::atoll(predict_cache.c_str());
+    if (capacity < 0) {
+      std::fprintf(stderr,
+                   "error: --predict-cache wants a non-negative capacity\n");
+      return 2;
+    }
+    service_config.predict_cache_capacity =
+        static_cast<std::size_t>(capacity);
+  }
   const std::string trace_path = flag_value(args, "--trace");
   const std::string metrics_path = flag_value(args, "--metrics");
   if (!trace_path.empty()) {
@@ -554,7 +846,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   server.run();
   g_server = nullptr;
 
-  service.stats().export_to(obs::Registry::global());
+  service.export_metrics(obs::Registry::global());
   server.stats().export_to(obs::Registry::global());
   std::printf("drained: %llu requests (%llu dispatched), %llu errors\n",
               static_cast<unsigned long long>(service.stats().requests.load()),
@@ -623,8 +915,11 @@ int cmd_loadgen(const std::vector<std::string>& args) {
   }
   const std::string mix = flag_value(args, "--mix");
   if (!mix.empty()) {
-    if (mix != "predict" && mix != "echo" && mix != "mixed") {
-      std::fprintf(stderr, "error: --mix wants predict, echo or mixed\n");
+    if (mix != "predict" && mix != "predict-heavy" && mix != "echo" &&
+        mix != "mixed") {
+      std::fprintf(stderr,
+                   "error: --mix wants predict, predict-heavy, echo or "
+                   "mixed\n");
       return 2;
     }
     config.mix = mix;
@@ -683,11 +978,16 @@ int main(int argc, char** argv) {
          "--restart", "--checkpoint-interval", "--checkpoint-overhead",
          "--max-attempts", "--threads", "--trace", "--metrics"},
         {}}},
+      {"predict",
+       cmd_predict,
+       {{"--job", "--batch", "--cache", "--threads", "--repeat",
+         "--train-designs", "--train-epochs"},
+        {"--verify"}}},
       {"serve",
        cmd_serve,
        {{"--port", "--threads", "--seed", "--max-conns", "--max-queue",
-         "--deadline-ms", "--train-designs", "--train-epochs", "--trace",
-         "--metrics"},
+         "--deadline-ms", "--train-designs", "--train-epochs", "--batch-max",
+         "--batch-linger-ms", "--predict-cache", "--trace", "--metrics"},
         {}}},
       {"loadgen",
        cmd_loadgen,

@@ -108,7 +108,8 @@ serving_smoke() {
 
   start_server() {
     local log="$1" threads="$2"
-    "${cli}" serve --port 0 --threads "${threads}" "${train_flags[@]}" \
+    shift 2
+    "${cli}" serve --port 0 --threads "${threads}" "${train_flags[@]}" "$@" \
       > "${log}" 2>&1 &
     server_pid=$!
     # The server prints "listening on host:port" before training and
@@ -183,6 +184,26 @@ serving_smoke() {
   cmp "${tmp}/load_1.json" "${tmp}/load_t8.json"
   stop_server "${server_pid}" "${tmp}/serve_b.log" || return 1
 
+  echo "=== serving smoke: micro-batching byte-identity ==="
+  # Micro-batching is pure scheduling: the same predict-heavy stream must
+  # export identical bytes from an unbatched server, a batched one, and a
+  # batched one that lingers for stragglers (docs/SERVING.md).
+  start_server "${tmp}/serve_nb.log" 2 --batch-max 1 || return 1
+  "${cli}" loadgen --port "${server_port}" --mode closed --conns 4 \
+    --requests 32 --seed 9 --mix predict-heavy \
+    --export "${tmp}/load_nb.json" > /dev/null
+  stop_server "${server_pid}" "${tmp}/serve_nb.log" || return 1
+  start_server "${tmp}/serve_mb.log" 2 --batch-max 8 --batch-linger-ms 2 \
+    --predict-cache 512 || return 1
+  for run in 1 2; do
+    "${cli}" loadgen --port "${server_port}" --mode closed --conns 4 \
+      --requests 32 --seed 9 --mix predict-heavy \
+      --export "${tmp}/load_mb_${run}.json" > /dev/null
+  done
+  stop_server "${server_pid}" "${tmp}/serve_mb.log" || return 1
+  cmp "${tmp}/load_nb.json" "${tmp}/load_mb_1.json"
+  cmp "${tmp}/load_mb_1.json" "${tmp}/load_mb_2.json"
+
   echo "=== serving smoke: loadgen flag validation ==="
   "${cli}" loadgen --no-such-flag 1 > /dev/null 2>&1 && {
     echo "serving smoke: unknown loadgen flag exited 0" >&2
@@ -193,6 +214,27 @@ serving_smoke() {
 }
 
 serving_smoke
+
+# Batched-inference smoke-run: the CLI predict subcommand trains a tiny
+# predictor, runs the same queries serially and through the merged-batch
+# path, and --verify exits nonzero unless every prediction is bit-identical
+# (DESIGN.md §12).
+batch_smoke() {
+  local cli="build/examples/edacloud_cli"
+
+  echo "=== batched inference smoke: serial-vs-batched bit-identity ==="
+  "${cli}" predict adder 48 --batch 8 --verify --cache 64 --threads 2 \
+    --train-designs 2 --train-epochs 2 > /dev/null
+
+  echo "=== batched inference smoke: predict flag validation ==="
+  "${cli}" predict adder 48 --no-such-flag 1 > /dev/null 2>&1 && {
+    echo "batch smoke: unknown predict flag exited 0" >&2
+    return 1
+  }
+  "${cli}" predict --help > /dev/null || return 1
+}
+
+batch_smoke
 
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
@@ -205,7 +247,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j
   echo "=== tsan: ctest (concurrency suites) ==="
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest')
+    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|MlBatchTest')
 fi
 
 echo "=== all passes green ==="

@@ -133,4 +133,21 @@ std::array<double, 4> RuntimePredictor::predict(
   return out;
 }
 
+std::vector<std::array<double, 4>> RuntimePredictor::predict_batch(
+    JobKind job, const std::vector<const ml::GraphSample*>& samples,
+    const std::vector<ml::ContentKey>* keys) const {
+  const int index = static_cast<int>(job);
+  std::vector<std::array<double, 4>> out(samples.size(),
+                                         std::array<double, 4>{});
+  if (models_[index] == nullptr || samples.empty()) return out;
+  const ml::BatchedGcn batched(*models_[index]);
+  const auto scaled = keys != nullptr ? batched.predict(samples, *keys)
+                                      : batched.predict(samples);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto log_runtimes = scalers_[index].inverse(scaled[i]);
+    for (int j = 0; j < 4; ++j) out[i][j] = std::exp(log_runtimes[j]);
+  }
+  return out;
+}
+
 }  // namespace edacloud::core

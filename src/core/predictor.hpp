@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/dataset.hpp"
+#include "ml/batch.hpp"
 #include "ml/gcn.hpp"
 
 namespace edacloud::core {
@@ -40,6 +41,15 @@ class RuntimePredictor {
   /// Requires train() to have been called for that job's model.
   [[nodiscard]] std::array<double, 4> predict(
       JobKind job, const ml::GraphSample& sample) const;
+
+  /// Batched variant: one merged forward pass per size group with in-batch
+  /// content dedup (ml::BatchedGcn), then the same inverse-scale + exp
+  /// post-processing per entry. out[i] is bit-identical to
+  /// predict(job, *samples[i]) at any thread count. `keys` (optional,
+  /// size-matched) supplies memoized content keys so dedup skips hashing.
+  [[nodiscard]] std::vector<std::array<double, 4>> predict_batch(
+      JobKind job, const std::vector<const ml::GraphSample*>& samples,
+      const std::vector<ml::ContentKey>* keys = nullptr) const;
 
   [[nodiscard]] bool trained(JobKind job) const {
     return models_[static_cast<int>(job)] != nullptr;

@@ -1,0 +1,342 @@
+#include "ml/batch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace edacloud::ml {
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche 64-bit permutation.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kLane0 = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kLane1 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kLane2 = 0xBF58476D1CE4E5B9ULL;
+constexpr std::uint64_t kLane3 = 0x94D049BB133111EBULL;
+
+inline std::uint64_t word_of(double v) {
+  std::uint64_t w;
+  std::memcpy(&w, &v, sizeof(w));
+  return w;
+}
+
+}  // namespace
+
+ContentKey ContentKey::salted(std::uint64_t salt) const {
+  ContentKey out;
+  out.lo = mix64(lo ^ (salt * kLane0));
+  out.hi = mix64(hi + salt + kLane1);
+  return out;
+}
+
+ContentKey content_key(const GraphSample& sample) {
+  // Two multiply-xor chains over the structure words. Each step is a
+  // bijection of the accumulator for fixed input, so same-length inputs
+  // differing in any single word always produce different lane values.
+  std::uint64_t a = 0x6A09E667F3BCC908ULL;
+  std::uint64_t b = 0xBB67AE8584CAA73BULL;
+  const auto mix = [&](std::uint64_t w) {
+    a = (a ^ w) * kLane0;
+    b = (b ^ (w + kLane1)) * kLane2;
+  };
+  const nl::Csr& csr = sample.in_neighbors;
+  mix(csr.offsets.size());
+  for (const std::uint32_t o : csr.offsets) mix(o);
+  mix(csr.targets.size());
+  for (const nl::VertexId t : csr.targets) mix(t);
+  mix(sample.features.rows());
+  mix(sample.features.cols());
+
+  // Features are the bulk (20 doubles per node): four independent lanes so
+  // the multiply chains overlap and hashing stays far cheaper than one
+  // forward pass.
+  std::uint64_t h0 = kLane0, h1 = kLane1, h2 = kLane2, h3 = kLane3;
+  const std::vector<double>& f = sample.features.data();
+  std::size_t i = 0;
+  for (; i + 4 <= f.size(); i += 4) {
+    h0 = (h0 ^ word_of(f[i])) * kLane0;
+    h1 = (h1 ^ word_of(f[i + 1])) * kLane1;
+    h2 = (h2 ^ word_of(f[i + 2])) * kLane2;
+    h3 = (h3 ^ word_of(f[i + 3])) * kLane3;
+  }
+  for (; i < f.size(); ++i) h0 = (h0 ^ word_of(f[i])) * kLane0;
+  mix(mix64(h0) ^ mix64(h2));
+  mix(mix64(h1) ^ mix64(h3));
+
+  ContentKey key;
+  key.lo = mix64(a);
+  key.hi = mix64(b);
+  return key;
+}
+
+GraphSample sample_from_graph(const nl::DesignGraph& graph) {
+  GraphSample sample;
+  sample.in_neighbors = nl::transpose(graph.forward);
+  sample.features = Matrix(graph.node_count(), nl::kNodeFeatureDim);
+  std::copy(graph.features.begin(), graph.features.end(),
+            sample.features.data().begin());
+  return sample;
+}
+
+BatchedGcn::BatchedGcn(const GcnModel& model, BatchOptions options)
+    : model_(model), options_(options) {
+  if (options_.max_group_rows == 0) options_.max_group_rows = 1;
+}
+
+std::vector<std::array<double, kRuntimeOutputs>> BatchedGcn::predict(
+    const std::vector<const GraphSample*>& samples) const {
+  if (options_.dedup) {
+    std::vector<ContentKey> keys;
+    keys.reserve(samples.size());
+    for (const GraphSample* sample : samples) {
+      keys.push_back(content_key(*sample));
+    }
+    return run(samples, &keys);
+  }
+  return run(samples, nullptr);
+}
+
+std::vector<std::array<double, kRuntimeOutputs>> BatchedGcn::predict(
+    const std::vector<const GraphSample*>& samples,
+    const std::vector<ContentKey>& keys) const {
+  return run(samples, options_.dedup ? &keys : nullptr);
+}
+
+std::vector<std::array<double, kRuntimeOutputs>> BatchedGcn::run(
+    const std::vector<const GraphSample*>& samples,
+    const std::vector<ContentKey>* keys) const {
+  stats_ = BatchStats{};
+  stats_.queries = samples.size();
+  std::vector<std::array<double, kRuntimeOutputs>> results(samples.size());
+  if (samples.empty()) return results;
+
+  // Dedup identical content: each distinct sample is computed once and the
+  // result fanned out to every query that asked for it.
+  std::vector<const GraphSample*> reps;
+  std::vector<std::size_t> rep_of(samples.size());
+  if (keys != nullptr) {
+    std::map<ContentKey, std::size_t> seen;
+    for (std::size_t q = 0; q < samples.size(); ++q) {
+      const auto [it, inserted] = seen.emplace((*keys)[q], reps.size());
+      if (inserted) reps.push_back(samples[q]);
+      rep_of[q] = it->second;
+    }
+  } else {
+    reps = samples;
+    for (std::size_t q = 0; q < samples.size(); ++q) rep_of[q] = q;
+  }
+  stats_.distinct = reps.size();
+  stats_.duplicates = samples.size() - reps.size();
+
+  // Bucket by power-of-two stride: every group member packs at the same
+  // row stride, so padding never exceeds half the tensor and a full-stride
+  // graph pads nothing. std::map keeps group order deterministic.
+  std::map<std::size_t, std::vector<std::size_t>> buckets;
+  for (std::size_t r = 0; r < reps.size(); ++r) {
+    const std::size_t rows = reps[r]->features.rows();
+    buckets[std::bit_ceil(std::max<std::size_t>(1, rows))].push_back(r);
+  }
+
+  std::vector<std::array<double, kRuntimeOutputs>> rep_results(reps.size());
+  for (const auto& [stride, members] : buckets) {
+    const std::size_t per_group = std::max<std::size_t>(
+        1, options_.max_group_rows / stride);
+    for (std::size_t begin = 0; begin < members.size(); begin += per_group) {
+      const std::size_t end =
+          std::min(members.size(), begin + per_group);
+      std::vector<const GraphSample*> group;
+      std::vector<std::size_t> out_index;
+      group.reserve(end - begin);
+      for (std::size_t m = begin; m < end; ++m) {
+        group.push_back(reps[members[m]]);
+        out_index.push_back(members[m]);
+      }
+      forward_group(group, stride, out_index, rep_results);
+      ++stats_.groups;
+    }
+  }
+
+  for (std::size_t q = 0; q < samples.size(); ++q) {
+    results[q] = rep_results[rep_of[q]];
+  }
+  return results;
+}
+
+void BatchedGcn::forward_group(
+    const std::vector<const GraphSample*>& members, std::size_t stride,
+    const std::vector<std::size_t>& out_index,
+    std::vector<std::array<double, kRuntimeOutputs>>& out) const {
+  const std::size_t count = members.size();
+  const std::size_t total_rows = count * stride;
+
+  // Merged block-diagonal CSR: member m's vertex v becomes row
+  // m*stride + v; padding rows keep empty in-edge ranges, so
+  // aggregate_mean leaves them exactly zero.
+  nl::Csr csr;
+  csr.offsets.resize(total_rows + 1);
+  csr.offsets[0] = 0;
+  std::size_t edges = 0;
+  for (const GraphSample* s : members) edges += s->in_neighbors.edge_count();
+  csr.targets.reserve(edges);
+  const std::size_t feature_dim =
+      static_cast<std::size_t>(model_.config_.input_dim);
+  Matrix x(total_rows, feature_dim);
+  for (std::size_t m = 0; m < count; ++m) {
+    const GraphSample& s = *members[m];
+    const std::size_t base = m * stride;
+    const std::size_t rows = s.features.rows();
+    for (std::size_t v = 0; v < stride; ++v) {
+      if (v < rows) {
+        const auto [e_begin, e_end] =
+            s.in_neighbors.range(static_cast<nl::VertexId>(v));
+        for (std::uint32_t e = e_begin; e < e_end; ++e) {
+          csr.targets.push_back(
+              static_cast<nl::VertexId>(base + s.in_neighbors.targets[e]));
+        }
+      }
+      csr.offsets[base + v + 1] =
+          static_cast<std::uint32_t>(csr.targets.size());
+    }
+    std::copy(s.features.data().begin(), s.features.data().end(),
+              x.row(base));
+    stats_.real_rows += rows;
+    stats_.padded_rows += stride - rows;
+  }
+
+  // Fused (z + self) + bias then ReLU over real rows only — the exact
+  // per-element sequence of the serial forward (elementwise add, then
+  // add_bias_rows, then relu_inplace). Padding rows are skipped so they
+  // stay 0.0 and the matmul zero-skip keeps them free in the next layer.
+  const auto add_self_bias_relu = [&](Matrix& z, const Matrix& self,
+                                      const std::vector<double>& bias) {
+    for (std::size_t m = 0; m < count; ++m) {
+      const std::size_t base = m * stride;
+      const std::size_t rows = members[m]->features.rows();
+      for (std::size_t i = base; i < base + rows; ++i) {
+        double* zrow = z.row(i);
+        const double* srow = self.row(i);
+        for (std::size_t j = 0; j < z.cols(); ++j) {
+          zrow[j] = std::max(0.0, (zrow[j] + srow[j]) + bias[j]);
+        }
+      }
+    }
+  };
+
+  // Layer 1: H1 = relu(agg(X) W1 + X S1 + b1), stacked.
+  Matrix h1 = matmul(aggregate_mean(csr, x), model_.w1_.value);
+  {
+    const Matrix self = matmul(x, model_.s1_.value);
+    add_self_bias_relu(h1, self, model_.b1_.value);
+  }
+
+  // Layer 2.
+  Matrix h2 = matmul(aggregate_mean(csr, h1), model_.w2_.value);
+  {
+    const Matrix self = matmul(h1, model_.s2_.value);
+    add_self_bias_relu(h2, self, model_.b2_.value);
+  }
+
+  // Per-graph mean pooling + log-size channel: rows ascending within each
+  // member, one divide of the summed value — identical to the serial
+  // sum_pool-then-divide sequence.
+  Matrix pooled(count, h2.cols() + 1);
+  for (std::size_t m = 0; m < count; ++m) {
+    const std::size_t base = m * stride;
+    const std::size_t rows = members[m]->features.rows();
+    double* prow = pooled.row(m);
+    for (std::size_t i = base; i < base + rows; ++i) {
+      const double* row = h2.row(i);
+      for (std::size_t j = 0; j < h2.cols(); ++j) prow[j] += row[j];
+    }
+    const double n = static_cast<double>(std::max<std::size_t>(1, rows));
+    for (std::size_t j = 0; j < h2.cols(); ++j) prow[j] /= n;
+    prow[h2.cols()] = std::log1p(n);
+  }
+
+  // FC head, stacked: every row is one graph, so the stock row-wise
+  // kernels reproduce the serial 1-row path per member.
+  Matrix h3 = matmul(pooled, model_.w3_.value);
+  add_bias_rows(h3, model_.b3_.value);
+  relu_inplace(h3);
+  Matrix logits = matmul(h3, model_.w4_.value);
+  add_bias_rows(logits, model_.b4_.value);
+
+  for (std::size_t m = 0; m < count; ++m) {
+    for (int j = 0; j < kRuntimeOutputs; ++j) {
+      out[out_index[m]][j] = logits.at(m, static_cast<std::size_t>(j));
+    }
+  }
+}
+
+// ------------------------------------------------------- PredictionCache --
+
+std::optional<std::array<double, kRuntimeOutputs>> PredictionCache::lookup(
+    const ContentKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void PredictionCache::insert(
+    const ContentKey& key,
+    const std::array<double, kRuntimeOutputs>& value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, value);
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PredictionCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+PredictionCache::Stats PredictionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PredictionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+void PredictionCache::export_to(obs::Registry& registry,
+                                const std::string& prefix) const {
+  const Stats snapshot = stats();
+  registry.counter(prefix + ".hits").add(snapshot.hits);
+  registry.counter(prefix + ".misses").add(snapshot.misses);
+  registry.counter(prefix + ".insertions").add(snapshot.insertions);
+  registry.counter(prefix + ".evictions").add(snapshot.evictions);
+  registry.gauge(prefix + ".size").set(static_cast<double>(size()));
+}
+
+}  // namespace edacloud::ml

@@ -1,0 +1,158 @@
+#pragma once
+// Batched GCN inference for high-QPS serving. Three pieces:
+//
+//   * content_key() — a canonical 128-bit hash over a GraphSample's CSR
+//     structure and feature bits. Two samples with identical graph content
+//     always hash equal; the key is what makes the cache and the in-batch
+//     deduplication *content*-addressed rather than pointer-addressed.
+//   * BatchedGcn — groups a batch of samples by size bucket, packs each
+//     group into one padded block-diagonal tensor (rows = graphs stacked at
+//     a uniform power-of-two stride) and runs ONE merged forward pass per
+//     group through the PR-3 row-blocked kernels. Duplicate content inside
+//     a batch is computed once. The hard contract: every output is
+//     bit-identical to GcnModel::predict on the same sample, at any thread
+//     count — padding rows stay exactly zero through every layer (they
+//     have no in-edges and bias/ReLU touch only real rows), so each real
+//     row sees the exact serial per-element accumulation order.
+//   * PredictionCache — bounded LRU keyed by ContentKey, internally locked
+//     (server workers hit it concurrently), with hit/miss/eviction
+//     counters exportable to the obs registry.
+//
+// A BatchedGcn instance holds per-call scratch stats and is NOT safe for
+// concurrent predict() calls; it is cheap (two references), so callers
+// construct one per batch (core::RuntimePredictor::predict_batch does).
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/gcn.hpp"
+#include "nl/star_graph.hpp"
+
+namespace edacloud::obs {
+class Registry;
+}
+
+namespace edacloud::ml {
+
+/// 128-bit content address of a GraphSample (structure + feature bits).
+struct ContentKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const ContentKey& a, const ContentKey& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator<(const ContentKey& a, const ContentKey& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+  /// Domain-separated derivative (e.g. per-job model salt): same content,
+  /// different salt -> different key.
+  [[nodiscard]] ContentKey salted(std::uint64_t salt) const;
+};
+
+/// Canonical hash of the sample's CSR offsets/targets and feature doubles
+/// (labels and family_id are excluded — they don't affect the forward
+/// pass). Word-wise multi-lane mixing: hashing is a small fraction of one
+/// forward pass even on cache hits.
+[[nodiscard]] ContentKey content_key(const GraphSample& sample);
+
+/// Unlabeled feature graph for prediction — the inference-side counterpart
+/// of the labeled builder in core/dataset.cpp (shared by svc::Service, the
+/// CLI predict subcommand and the throughput bench).
+[[nodiscard]] GraphSample sample_from_graph(const nl::DesignGraph& graph);
+
+struct BatchOptions {
+  /// Deduplicate identical-content samples inside a batch (compute once,
+  /// fan the result out). Costs one content_key per sample.
+  bool dedup = true;
+  /// Upper bound on padded rows per merged group; larger groups split.
+  std::size_t max_group_rows = 1 << 14;
+};
+
+/// Per-predict() accounting, for tests and bench reporting.
+struct BatchStats {
+  std::size_t queries = 0;        // samples passed in
+  std::size_t distinct = 0;       // forward passes actually computed
+  std::size_t duplicates = 0;     // queries - distinct (dedup wins)
+  std::size_t groups = 0;         // merged forward passes
+  std::size_t real_rows = 0;      // graph vertices across distinct samples
+  std::size_t padded_rows = 0;    // zero rows added for uniform strides
+};
+
+class BatchedGcn {
+ public:
+  explicit BatchedGcn(const GcnModel& model, BatchOptions options = {});
+
+  /// Merged-batch predict: returns exactly what model.predict(*samples[i])
+  /// returns, bit for bit, for every i. Hashes each sample for dedup when
+  /// options.dedup is set.
+  [[nodiscard]] std::vector<std::array<double, kRuntimeOutputs>> predict(
+      const std::vector<const GraphSample*>& samples) const;
+
+  /// Same, with caller-supplied content keys (memoized by svc::Service) so
+  /// the hash is not recomputed per query. keys.size() must match
+  /// samples.size(); keys are only used for equality inside this batch.
+  [[nodiscard]] std::vector<std::array<double, kRuntimeOutputs>> predict(
+      const std::vector<const GraphSample*>& samples,
+      const std::vector<ContentKey>& keys) const;
+
+  [[nodiscard]] const BatchStats& last_stats() const { return stats_; }
+
+ private:
+  std::vector<std::array<double, kRuntimeOutputs>> run(
+      const std::vector<const GraphSample*>& samples,
+      const std::vector<ContentKey>* keys) const;
+  /// One merged forward pass over `members` packed at `stride` rows each;
+  /// writes members.size() results into out[out_index[k]].
+  void forward_group(
+      const std::vector<const GraphSample*>& members, std::size_t stride,
+      const std::vector<std::size_t>& out_index,
+      std::vector<std::array<double, kRuntimeOutputs>>& out) const;
+
+  const GcnModel& model_;
+  BatchOptions options_;
+  mutable BatchStats stats_;
+};
+
+/// Bounded, thread-safe LRU cache of final predictions keyed by content.
+/// Capacity 0 disables (lookups miss, inserts drop).
+class PredictionCache {
+ public:
+  explicit PredictionCache(std::size_t capacity) : capacity_(capacity) {}
+
+  [[nodiscard]] std::optional<std::array<double, kRuntimeOutputs>> lookup(
+      const ContentKey& key);
+  void insert(const ContentKey& key,
+              const std::array<double, kRuntimeOutputs>& value);
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Counters + current size under `prefix` (e.g. "svc.predict_cache").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+
+ private:
+  using Entry = std::pair<ContentKey, std::array<double, kRuntimeOutputs>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<ContentKey, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace edacloud::ml

@@ -17,6 +17,8 @@
 
 namespace edacloud::ml {
 
+class BatchedGcn;
+
 constexpr int kRuntimeOutputs = 4;  // 1, 2, 4, 8 vCPUs
 
 struct GcnConfig {
@@ -81,6 +83,10 @@ class GcnModel {
   bool load(const std::string& text);
 
  private:
+  /// The merged-batch forward pass (ml/batch.hpp) reads the weight tensors
+  /// directly; it reproduces run_forward's arithmetic bit for bit.
+  friend class BatchedGcn;
+
   struct Tensor {
     Matrix value;
     Matrix grad;

@@ -60,6 +60,13 @@ RequestType draw_type(const std::string& mix, util::Rng& rng) {
     if (roll < 0.95) return RequestType::kRunStage;
     return RequestType::kCharacterize;
   }
+  if (mix == "predict-heavy") {
+    // The micro-batching stress mix: ~90% predicts over a wider design
+    // pool (see make_request), with enough echo traffic interleaved that
+    // the batch collector must skip over non-predict items correctly.
+    return rng.next_double() < 0.90 ? RequestType::kPredict
+                                    : RequestType::kEcho;
+  }
   return RequestType::kPredict;
 }
 
@@ -233,14 +240,19 @@ std::string make_request(const LoadgenConfig& config, std::uint64_t id) {
     request.set("payload", JsonValue::of("ping-" + std::to_string(id)));
   } else {
     const auto& families = workloads::families();
-    const std::size_t pick = static_cast<std::size_t>(
-        rng.next_below(std::min<std::uint64_t>(families.size(), 8)));
+    // predict-heavy draws from fewer families but two corpus sizes each:
+    // a 2x-wider design pool than "predict", with repeats frequent enough
+    // that in-batch dedup and the prediction cache both get exercised.
+    const bool heavy = config.mix == "predict-heavy";
+    const std::size_t pick = static_cast<std::size_t>(rng.next_below(
+        std::min<std::uint64_t>(families.size(), heavy ? 6 : 8)));
     const auto& info = families[pick];
+    int size = info.corpus_sizes.empty() ? 32 : info.corpus_sizes.front();
+    if (heavy && info.corpus_sizes.size() > 1 && rng.next_bool(0.5)) {
+      size = info.corpus_sizes[1];
+    }
     request.set("family", JsonValue::of(info.name));
-    request.set("size",
-                JsonValue::of(info.corpus_sizes.empty()
-                                  ? 32
-                                  : info.corpus_sizes.front()));
+    request.set("size", JsonValue::of(size));
     switch (type) {
       case RequestType::kPredict:
         request.set("job",

@@ -39,7 +39,9 @@ struct LoadgenConfig {
   /// (connections ramp, caches warm). Counts/digest still include them.
   double warmup_s = 1.0;
   std::uint64_t seed = 1;
-  /// Request mix: "predict" | "echo" | "mixed" (see make_request()).
+  /// Request mix: "predict" | "predict-heavy" | "echo" | "mixed" (see
+  /// make_request(); predict-heavy is ~90% predicts over a wider design
+  /// pool, built to stress server-side micro-batching).
   std::string mix = "predict";
   /// Attached to every request when > 0.
   double deadline_ms = 0.0;

@@ -38,6 +38,8 @@ void ServerStats::export_to(obs::Registry& registry) const {
   count("overload_rejections", overload_rejections);
   count("deadline_rejections", deadline_rejections);
   count("protocol_errors", protocol_errors);
+  count("batches_executed", batches_executed);
+  count("batched_requests", batched_requests);
 }
 
 JobServer::JobServer(Service& service, ServerConfig config)
@@ -352,36 +354,97 @@ void JobServer::dispatch_frame(std::uint64_t conn_id, std::string payload) {
 }
 
 void JobServer::worker_loop() {
+  std::vector<WorkItem> batch;
   while (true) {
-    WorkItem item;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return workers_stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // workers_stop_ and drained
-      item = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
-    }
-
-    std::string response;
-    if (item.has_deadline && std::chrono::steady_clock::now() > item.deadline) {
-      stats_.deadline_rejections.fetch_add(1, std::memory_order_relaxed);
-      response = error_response(item.request.id, kErrDeadlineExceeded,
-                                "deadline elapsed before dispatch");
-    } else {
-      response = service_.handle(item.request);
-    }
-    enqueue_response(item.conn_id, response);
-    stats_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
-      const auto it = conns_.find(item.conn_id);
-      if (it != conns_.end() && it->second.inflight > 0) {
-        --it->second.inflight;
+      if (config_.batch_max > 1 &&
+          batch.front().request.type == RequestType::kPredict) {
+        collect_predict_batch(lock, batch);
       }
     }
-    inflight_total_.fetch_sub(1, std::memory_order_acq_rel);
-    wake();
+    execute_batch(batch);
   }
+}
+
+void JobServer::collect_predict_batch(std::unique_lock<std::mutex>& lock,
+                                      std::vector<WorkItem>& batch) {
+  const std::size_t max = static_cast<std::size_t>(config_.batch_max);
+  const auto take_queued_predicts = [&] {
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < max;) {
+      if (it->request.type == RequestType::kPredict) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  take_queued_predicts();
+  if (config_.batch_linger_ms <= 0.0 || batch.size() >= max) return;
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(
+          static_cast<std::int64_t>(config_.batch_linger_ms * 1000.0));
+  while (batch.size() < max && !workers_stop_) {
+    const std::cv_status status = queue_cv_.wait_until(lock, deadline);
+    take_queued_predicts();
+    // Notifies consumed while lingering may belong to items this batch
+    // cannot take (non-predict types, or overflow past batch_max): pass
+    // the baton so an idle worker picks them up instead of them waiting
+    // out the linger window.
+    if (!queue_.empty()) queue_cv_.notify_one();
+    if (status == std::cv_status::timeout) break;
+  }
+}
+
+void JobServer::execute_batch(std::vector<WorkItem>& batch) {
+  std::vector<std::string> responses(batch.size());
+  std::vector<Request> live;
+  std::vector<std::size_t> live_index;
+  // Deadlines are checked once at execution start, matching the
+  // single-item contract (execution itself is never preempted).
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const WorkItem& item = batch[i];
+    if (item.has_deadline && now > item.deadline) {
+      stats_.deadline_rejections.fetch_add(1, std::memory_order_relaxed);
+      responses[i] = error_response(item.request.id, kErrDeadlineExceeded,
+                                    "deadline elapsed before dispatch");
+    } else {
+      live.push_back(item.request);
+      live_index.push_back(i);
+    }
+  }
+  if (live.size() == 1) {
+    responses[live_index[0]] = service_.handle(live[0]);
+  } else if (live.size() > 1) {
+    std::vector<std::string> merged = service_.handle_predict_batch(live);
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+      responses[live_index[k]] = std::move(merged[k]);
+    }
+    stats_.batches_executed.fetch_add(1, std::memory_order_relaxed);
+    stats_.batched_requests.fetch_add(live.size(),
+                                      std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    enqueue_response(batch[i].conn_id, responses[i]);
+    stats_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    const auto it = conns_.find(batch[i].conn_id);
+    if (it != conns_.end() && it->second.inflight > 0) {
+      --it->second.inflight;
+    }
+  }
+  inflight_total_.fetch_sub(batch.size(), std::memory_order_acq_rel);
+  wake();
 }
 
 void JobServer::enqueue_response(std::uint64_t conn_id,

@@ -46,6 +46,18 @@ struct ServerConfig {
   /// Default per-request deadline applied when a request carries none
   /// (0 = unlimited).
   double default_deadline_ms = 0.0;
+  /// Micro-batching: a worker that pops a predict request greedily takes
+  /// up to batch_max-1 more predict items already queued (skipping over
+  /// other types) and executes them as ONE merged GCN forward pass via
+  /// Service::handle_predict_batch. <= 1 disables. Responses are
+  /// byte-identical to unbatched execution — batching trades nothing but
+  /// scheduling.
+  int batch_max = 8;
+  /// With batch_max > 1: how long a worker holding a partial predict batch
+  /// waits for stragglers before executing. 0 (default) never waits —
+  /// batching then only amortizes queues that are already deep, adding
+  /// zero latency. Raising it trades p50 latency for throughput.
+  double batch_linger_ms = 0.0;
 };
 
 struct ServerStats {
@@ -56,6 +68,8 @@ struct ServerStats {
   std::atomic<std::uint64_t> overload_rejections{0};
   std::atomic<std::uint64_t> deadline_rejections{0};
   std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> batches_executed{0};  // merged batches (>= 2)
+  std::atomic<std::uint64_t> batched_requests{0};  // requests inside them
 
   void export_to(obs::Registry& registry) const;
 };
@@ -106,6 +120,15 @@ class JobServer {
   };
 
   void worker_loop();
+  /// Grow `batch` (holding one predict item) from queued predict items, up
+  /// to batch_max, lingering up to batch_linger_ms. Called with
+  /// queue_mutex_ held via `lock`; re-notifies when it observes work it
+  /// cannot take so lingering never starves other workers.
+  void collect_predict_batch(std::unique_lock<std::mutex>& lock,
+                             std::vector<WorkItem>& batch);
+  /// Deadline-check, execute (merged when >= 2 live predicts) and answer
+  /// every item; per-item accounting matches the single-item path.
+  void execute_batch(std::vector<WorkItem>& batch);
   void io_loop();
   void accept_ready();
   void read_ready(std::uint64_t conn_id);

@@ -17,18 +17,6 @@ namespace edacloud::svc {
 
 namespace {
 
-/// Unlabeled feature graph for prediction (the training-time counterpart
-/// lives in core/dataset.cpp and additionally carries runtime labels).
-std::shared_ptr<const ml::GraphSample> sample_from_graph(
-    const nl::DesignGraph& graph) {
-  auto sample = std::make_shared<ml::GraphSample>();
-  sample->in_neighbors = nl::transpose(graph.forward);
-  sample->features = ml::Matrix(graph.node_count(), nl::kNodeFeatureDim);
-  std::copy(graph.features.begin(), graph.features.end(),
-            sample->features.data().begin());
-  return sample;
-}
-
 JsonValue runtime_array(const std::array<double, 4>& runtimes) {
   JsonValue out = JsonValue::array();
   for (const double r : runtimes) out.push_back(JsonValue::of(r));
@@ -49,7 +37,12 @@ void ServiceStats::export_to(obs::Registry& registry) const {
 }
 
 Service::Service(ServiceConfig config)
-    : config_(config), library_(nl::make_generic_14nm_library()) {}
+    : config_(config), library_(nl::make_generic_14nm_library()) {
+  if (config_.predict_cache_capacity > 0) {
+    predict_cache_ = std::make_unique<ml::PredictionCache>(
+        config_.predict_cache_capacity);
+  }
+}
 
 Service::~Service() = default;
 
@@ -137,8 +130,8 @@ nl::Aig Service::make_design(const Request& request) const {
   return workloads::generate(spec);
 }
 
-std::shared_ptr<const ml::GraphSample> Service::sample_for(
-    const Request& request, core::JobKind job) {
+Service::CachedSample Service::sample_for(const Request& request,
+                                          core::JobKind job) {
   const bool aig_side = job == core::JobKind::kSynthesis;
   const std::string key =
       request.family + "/" + std::to_string(request.size);
@@ -149,20 +142,51 @@ std::shared_ptr<const ml::GraphSample> Service::sample_for(
     if (it != cache.end()) return it->second;
   }
   // Compute outside the lock (concurrent misses may duplicate work once;
-  // first insertion wins so every caller sees one canonical sample).
+  // first insertion wins so every caller sees one canonical sample). The
+  // content key is memoized alongside so the prediction-cache hot path
+  // never re-hashes the feature matrix.
   const nl::Aig design = make_design(request);
-  std::shared_ptr<const ml::GraphSample> sample;
+  CachedSample entry;
   if (aig_side) {
-    sample = sample_from_graph(nl::graph_from_aig(design));
+    entry.sample = std::make_shared<const ml::GraphSample>(
+        ml::sample_from_graph(nl::graph_from_aig(design)));
   } else {
     synth::SynthesisEngine engine(library_);
     const auto mapped = engine.synthesize(design, synth::default_recipe());
-    sample = sample_from_graph(nl::graph_from_netlist(mapped.netlist));
+    entry.sample = std::make_shared<const ml::GraphSample>(
+        ml::sample_from_graph(nl::graph_from_netlist(mapped.netlist)));
   }
+  entry.key = ml::content_key(*entry.sample);
   std::lock_guard<std::mutex> lock(cache_mutex_);
   auto& cache = aig_side ? aig_samples_ : netlist_samples_;
-  const auto [it, inserted] = cache.emplace(key, std::move(sample));
+  const auto [it, inserted] = cache.emplace(key, std::move(entry));
   return it->second;
+}
+
+std::array<double, 4> Service::predict_runtimes(core::JobKind job,
+                                                const CachedSample& cached) {
+  const ml::ContentKey key =
+      cached.key.salted(static_cast<std::uint64_t>(job) + 1);
+  if (predict_cache_ != nullptr) {
+    if (const auto hit = predict_cache_->lookup(key)) return *hit;
+  }
+  const std::array<double, 4> runtimes =
+      predictor_.predict(job, *cached.sample);
+  if (predict_cache_ != nullptr) predict_cache_->insert(key, runtimes);
+  return runtimes;
+}
+
+JsonValue Service::predict_payload(const Request& request,
+                                   const std::array<double, 4>& runtimes) {
+  JsonValue payload = JsonValue::object();
+  payload.set("family", JsonValue::of(request.family));
+  payload.set("size", JsonValue::of(request.size));
+  payload.set("job", JsonValue::of(core::job_name(request.job)));
+  JsonValue vcpus = JsonValue::array();
+  for (const int v : {1, 2, 4, 8}) vcpus.push_back(JsonValue::of(v));
+  payload.set("vcpus", std::move(vcpus));
+  payload.set("runtime_seconds", runtime_array(runtimes));
+  return payload;
 }
 
 JsonValue Service::do_characterize(const Request& request) {
@@ -196,19 +220,104 @@ JsonValue Service::do_predict(const Request& request) {
   if (!trained_) {
     throw std::runtime_error("predictor not trained (initialize() skipped)");
   }
-  const auto sample = sample_for(request, request.job);
-  const std::array<double, 4> runtimes =
-      predictor_.predict(request.job, *sample);
+  const CachedSample cached = sample_for(request, request.job);
+  return predict_payload(request, predict_runtimes(request.job, cached));
+}
 
-  JsonValue payload = JsonValue::object();
-  payload.set("family", JsonValue::of(request.family));
-  payload.set("size", JsonValue::of(request.size));
-  payload.set("job", JsonValue::of(core::job_name(request.job)));
-  JsonValue vcpus = JsonValue::array();
-  for (const int v : {1, 2, 4, 8}) vcpus.push_back(JsonValue::of(v));
-  payload.set("vcpus", std::move(vcpus));
-  payload.set("runtime_seconds", runtime_array(runtimes));
-  return payload;
+std::vector<std::string> Service::handle_predict_batch(
+    const std::vector<Request>& requests) {
+  std::vector<std::string> responses(requests.size());
+  if (requests.empty()) return responses;
+  TRACE_SPAN("svc/predict-batch", "svc");
+
+  // Phase 1: per-request bookkeeping, sample resolution and cache lookup.
+  // Failures resolve immediately with the same error bytes handle() emits.
+  struct Pending {
+    std::size_t index;
+    core::JobKind job;
+    CachedSample cached;
+  };
+  std::vector<Pending> misses;
+  std::vector<std::array<double, 4>> runtimes(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& request = requests[i];
+    if (request.type != RequestType::kPredict) {
+      responses[i] = handle(request);  // stats bumped inside
+      continue;
+    }
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    stats_.by_type[static_cast<int>(request.type)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (!trained_) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      responses[i] = error_response(
+          request.id, kErrInternal,
+          "predictor not trained (initialize() skipped)");
+      continue;
+    }
+    try {
+      Pending pending{i, request.job, sample_for(request, request.job)};
+      const ml::ContentKey key = pending.cached.key.salted(
+          static_cast<std::uint64_t>(request.job) + 1);
+      if (predict_cache_ != nullptr) {
+        if (const auto hit = predict_cache_->lookup(key)) {
+          runtimes[i] = *hit;
+          continue;
+        }
+      }
+      misses.push_back(std::move(pending));
+    } catch (const std::exception& e) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      responses[i] = error_response(request.id, kErrInternal, e.what());
+    }
+  }
+
+  // Phase 2: one merged forward pass per job over the misses.
+  for (const core::JobKind job : core::kAllJobs) {
+    std::vector<const ml::GraphSample*> samples;
+    std::vector<ml::ContentKey> keys;
+    std::vector<std::size_t> indices;
+    for (const Pending& pending : misses) {
+      if (pending.job != job) continue;
+      samples.push_back(pending.cached.sample.get());
+      keys.push_back(pending.cached.key);
+      indices.push_back(pending.index);
+    }
+    if (samples.empty()) continue;
+    try {
+      const auto batch_out = predictor_.predict_batch(job, samples, &keys);
+      for (std::size_t k = 0; k < indices.size(); ++k) {
+        runtimes[indices[k]] = batch_out[k];
+        if (predict_cache_ != nullptr) {
+          predict_cache_->insert(
+              keys[k].salted(static_cast<std::uint64_t>(job) + 1),
+              batch_out[k]);
+        }
+      }
+    } catch (const std::exception& e) {
+      for (const std::size_t index : indices) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        responses[index] =
+            error_response(requests[index].id, kErrInternal, e.what());
+      }
+    }
+  }
+
+  // Phase 3: dump responses for everything that resolved to runtimes.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!responses[i].empty()) continue;
+    JsonValue response = response_header(requests[i]);
+    response.set("payload", predict_payload(requests[i], runtimes[i]));
+    responses[i] = response.dump();
+  }
+  return responses;
+}
+
+void Service::export_metrics(obs::Registry& registry) const {
+  stats_.export_to(registry);
+  if (predict_cache_ != nullptr) {
+    predict_cache_->export_to(registry, "svc.predict_cache");
+  }
 }
 
 JsonValue Service::do_optimize(const Request& request) {
@@ -217,8 +326,8 @@ JsonValue Service::do_optimize(const Request& request) {
   }
   core::RuntimeLadders ladders{};
   for (const core::JobKind job : core::kAllJobs) {
-    const auto sample = sample_for(request, job);
-    ladders[static_cast<int>(job)] = predictor_.predict(job, *sample);
+    const CachedSample cached = sample_for(request, job);
+    ladders[static_cast<int>(job)] = predict_runtimes(job, cached);
   }
   core::DeploymentOptimizer optimizer;
   if (request.spot) optimizer.enable_spot(cloud::SpotModel{});

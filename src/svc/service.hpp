@@ -23,10 +23,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/characterize.hpp"
 #include "core/optimizer.hpp"
 #include "core/predictor.hpp"
+#include "ml/batch.hpp"
 #include "ml/gcn.hpp"
 #include "nl/cell_library.hpp"
 #include "obs/metrics.hpp"
@@ -45,6 +47,11 @@ struct ServiceConfig {
   /// Seed for generated request designs (the CLI convention is 7 — the
   /// same designs `edacloud_cli gen/flow` produce).
   std::uint64_t design_seed = 7;
+  /// Content-addressed prediction cache entries (ml::PredictionCache LRU;
+  /// 0 disables). Keys are the memoized graph content hash salted per
+  /// job, so repeated-design predict/optimize queries skip the forward
+  /// pass entirely — and return the exact bytes the miss path computed.
+  std::size_t predict_cache_capacity = 4096;
 };
 
 /// Lifetime request counters (relaxed atomics — workers bump them
@@ -76,10 +83,28 @@ class Service {
   /// Dispatch one parsed request; returns the dumped response.
   [[nodiscard]] std::string handle(const Request& request);
 
+  /// Micro-batched predict path (the server's batch collector lands here):
+  /// cache lookups first, then ONE merged forward pass per job over the
+  /// misses. responses[i] is byte-identical to handle(requests[i]) —
+  /// non-predict items fall back to handle() individually.
+  [[nodiscard]] std::vector<std::string> handle_predict_batch(
+      const std::vector<Request>& requests);
+
   [[nodiscard]] const ServiceStats& stats() const { return stats_; }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  /// Non-null when predict_cache_capacity > 0.
+  [[nodiscard]] const ml::PredictionCache* predict_cache() const {
+    return predict_cache_.get();
+  }
+  /// Request counters plus prediction-cache hit/miss/eviction counters.
+  void export_metrics(obs::Registry& registry) const;
 
  private:
+  /// Feature graph + memoized content key, shared via the per-design cache.
+  struct CachedSample {
+    std::shared_ptr<const ml::GraphSample> sample;
+    ml::ContentKey key;  // content_key(*sample), computed once at build
+  };
   JsonValue do_characterize(const Request& request);
   JsonValue do_predict(const Request& request);
   JsonValue do_optimize(const Request& request);
@@ -89,8 +114,15 @@ class Service {
   [[nodiscard]] nl::Aig make_design(const Request& request) const;
   /// Feature graph for `job` on the request's design, via the per-design
   /// cache (AIG graph for synthesis, synthesized-netlist graph otherwise).
-  [[nodiscard]] std::shared_ptr<const ml::GraphSample> sample_for(
-      const Request& request, core::JobKind job);
+  [[nodiscard]] CachedSample sample_for(const Request& request,
+                                        core::JobKind job);
+  /// Cache-fronted predicted runtimes (the shared predict/optimize path).
+  [[nodiscard]] std::array<double, 4> predict_runtimes(
+      core::JobKind job, const CachedSample& cached);
+  /// The predict response payload — one builder for both the serial and
+  /// the batched path, so their bytes cannot diverge.
+  [[nodiscard]] static JsonValue predict_payload(
+      const Request& request, const std::array<double, 4>& runtimes);
 
   ServiceConfig config_;
   nl::CellLibrary library_;
@@ -104,9 +136,11 @@ class Service {
 
   /// family:size -> feature graphs (predict/optimize hot path).
   std::mutex cache_mutex_;
-  std::map<std::string, std::shared_ptr<const ml::GraphSample>> aig_samples_;
-  std::map<std::string, std::shared_ptr<const ml::GraphSample>>
-      netlist_samples_;
+  std::map<std::string, CachedSample> aig_samples_;
+  std::map<std::string, CachedSample> netlist_samples_;
+
+  /// Content-addressed prediction results (internally locked).
+  std::unique_ptr<ml::PredictionCache> predict_cache_;
 };
 
 }  // namespace edacloud::svc

@@ -432,6 +432,101 @@ TEST(SvcServerDeterminismTest, ResponsesByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(SvcServerDeterminismTest, HandlePredictBatchMatchesSerial) {
+  ServiceConfig service_config;
+  service_config.train_designs = 2;
+  service_config.train_epochs = 2;
+  Service service(service_config);
+  service.initialize();
+
+  // Predicts across families/sizes/jobs, with duplicates (the dedup path)
+  // and one echo (the non-predict fallback inside the batch handler).
+  std::vector<Request> requests;
+  const struct {
+    const char* family;
+    int size;
+    core::JobKind job;
+  } predicts[] = {
+      {"adder", 16, core::JobKind::kSynthesis},
+      {"adder", 24, core::JobKind::kSta},
+      {"multiplier", 16, core::JobKind::kPlacement},
+      {"adder", 16, core::JobKind::kSynthesis},  // duplicate of #0
+      {"adder", 16, core::JobKind::kRouting},
+  };
+  std::uint64_t id = 1;
+  for (const auto& p : predicts) {
+    Request request;
+    request.type = RequestType::kPredict;
+    request.id = id++;
+    request.family = p.family;
+    request.size = p.size;
+    request.job = p.job;
+    requests.push_back(request);
+  }
+  requests.push_back(echo_request(id++));
+
+  // Batch first (cold cache: exercises the merged forward pass), then the
+  // serial path (cache hits) — both must produce the same bytes.
+  const std::vector<std::string> batched =
+      service.handle_predict_batch(requests);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string serial = service.handle(requests[i]);
+    EXPECT_EQ(batched[i], serial) << "request " << i;
+    EXPECT_NE(batched[i].find("\"ok\":true"), std::string::npos)
+        << batched[i];
+  }
+
+  // A fresh uncached service must also agree — proves the equality above
+  // is not an artifact of both paths reading the same cache entry.
+  Service fresh(service_config);
+  fresh.initialize();
+  const std::vector<std::string> cold = fresh.handle_predict_batch(requests);
+  ASSERT_EQ(cold.size(), batched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(cold[i], batched[i]) << "request " << i;
+  }
+}
+
+TEST(SvcServerDeterminismTest, MicroBatchingByteIdentical) {
+  ServiceConfig service_config;
+  service_config.train_designs = 2;
+  service_config.train_epochs = 2;
+  Service service(service_config);
+  service.initialize();
+
+  auto run = [&](int batch_max, double linger_ms) {
+    ServerConfig config;
+    config.threads = 2;
+    config.batch_max = batch_max;
+    config.batch_linger_ms = linger_ms;
+    JobServer server(service, config);
+    std::string error;
+    EXPECT_TRUE(server.listen(&error)) << error;
+    server.start();
+
+    LoadgenConfig gen;
+    gen.port = server.port();
+    gen.mix = "predict-heavy";
+    gen.seed = 17;
+    gen.requests = 32;
+    gen.connections = 4;
+    const LoadgenReport report = run_loadgen(gen);
+    server.stop_and_join();
+    EXPECT_EQ(report.transport_errors, 0u);
+    EXPECT_EQ(report.sent, 32u);
+    return report.export_json();
+  };
+
+  // Micro-batching is pure scheduling: the deterministic export (counts +
+  // response digest) must not change with batching on, off, or lingering.
+  const std::string unbatched = run(1, 0.0);
+  const std::string batched = run(8, 0.0);
+  const std::string lingering = run(8, 2.0);
+  EXPECT_EQ(unbatched, batched);
+  EXPECT_EQ(unbatched, lingering);
+}
+
 // ------------------------------------------------------------- loadgen --
 
 TEST(SvcLoadgenTest, MakeRequestIsPureFunctionOfSeedAndId) {
