@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mckp"
+  "../bench/ablation_mckp.pdb"
+  "CMakeFiles/ablation_mckp.dir/ablation_mckp.cpp.o"
+  "CMakeFiles/ablation_mckp.dir/ablation_mckp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mckp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fault_tolerance"
+  "../bench/ext_fault_tolerance.pdb"
+  "CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cpp.o"
+  "CMakeFiles/ext_fault_tolerance.dir/ext_fault_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_predict_throughput"
+  "../bench/ext_predict_throughput.pdb"
+  "CMakeFiles/ext_predict_throughput.dir/ext_predict_throughput.cpp.o"
+  "CMakeFiles/ext_predict_throughput.dir/ext_predict_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predict_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_scaling_and_frontier"
+  "../bench/ext_scaling_and_frontier.pdb"
+  "CMakeFiles/ext_scaling_and_frontier.dir/ext_scaling_and_frontier.cpp.o"
+  "CMakeFiles/ext_scaling_and_frontier.dir/ext_scaling_and_frontier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaling_and_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_serving_latency"
+  "../bench/ext_serving_latency.pdb"
+  "CMakeFiles/ext_serving_latency.dir/ext_serving_latency.cpp.o"
+  "CMakeFiles/ext_serving_latency.dir/ext_serving_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_serving_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_characterization"
+  "../bench/fig2_characterization.pdb"
+  "CMakeFiles/fig2_characterization.dir/fig2_characterization.cpp.o"
+  "CMakeFiles/fig2_characterization.dir/fig2_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

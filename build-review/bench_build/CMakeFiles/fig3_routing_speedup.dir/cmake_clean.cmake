@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_routing_speedup"
+  "../bench/fig3_routing_speedup.pdb"
+  "CMakeFiles/fig3_routing_speedup.dir/fig3_routing_speedup.cpp.o"
+  "CMakeFiles/fig3_routing_speedup.dir/fig3_routing_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_routing_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_prediction"
+  "../bench/fig5_prediction.pdb"
+  "CMakeFiles/fig5_prediction.dir/fig5_prediction.cpp.o"
+  "CMakeFiles/fig5_prediction.dir/fig5_prediction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

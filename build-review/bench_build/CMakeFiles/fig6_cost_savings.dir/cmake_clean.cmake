@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cost_savings"
+  "../bench/fig6_cost_savings.pdb"
+  "CMakeFiles/fig6_cost_savings.dir/fig6_cost_savings.cpp.o"
+  "CMakeFiles/fig6_cost_savings.dir/fig6_cost_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cost_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

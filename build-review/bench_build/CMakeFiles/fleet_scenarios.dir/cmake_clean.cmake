@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fleet_scenarios"
+  "../bench/fleet_scenarios.pdb"
+  "CMakeFiles/fleet_scenarios.dir/fleet_scenarios.cpp.o"
+  "CMakeFiles/fleet_scenarios.dir/fleet_scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_deployment"
+  "../bench/table1_deployment.pdb"
+  "CMakeFiles/table1_deployment.dir/table1_deployment.cpp.o"
+  "CMakeFiles/table1_deployment.dir/table1_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_design.dir/characterize_design.cpp.o"
+  "CMakeFiles/characterize_design.dir/characterize_design.cpp.o.d"
+  "characterize_design"
+  "characterize_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

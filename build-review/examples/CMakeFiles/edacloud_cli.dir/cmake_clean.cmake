@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_cli.dir/edacloud_cli.cpp.o"
+  "CMakeFiles/edacloud_cli.dir/edacloud_cli.cpp.o.d"
+  "edacloud_cli"
+  "edacloud_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

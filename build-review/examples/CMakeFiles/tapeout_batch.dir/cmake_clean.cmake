@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapeout_batch.dir/tapeout_batch.cpp.o"
+  "CMakeFiles/tapeout_batch.dir/tapeout_batch.cpp.o.d"
+  "tapeout_batch"
+  "tapeout_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapeout_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

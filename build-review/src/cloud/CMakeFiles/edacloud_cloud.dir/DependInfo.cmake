@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/heuristics.cpp" "src/cloud/CMakeFiles/edacloud_cloud.dir/heuristics.cpp.o" "gcc" "src/cloud/CMakeFiles/edacloud_cloud.dir/heuristics.cpp.o.d"
+  "/root/repo/src/cloud/mckp.cpp" "src/cloud/CMakeFiles/edacloud_cloud.dir/mckp.cpp.o" "gcc" "src/cloud/CMakeFiles/edacloud_cloud.dir/mckp.cpp.o.d"
+  "/root/repo/src/cloud/pricing.cpp" "src/cloud/CMakeFiles/edacloud_cloud.dir/pricing.cpp.o" "gcc" "src/cloud/CMakeFiles/edacloud_cloud.dir/pricing.cpp.o.d"
+  "/root/repo/src/cloud/savings.cpp" "src/cloud/CMakeFiles/edacloud_cloud.dir/savings.cpp.o" "gcc" "src/cloud/CMakeFiles/edacloud_cloud.dir/savings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/perf/CMakeFiles/edacloud_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/edacloud_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

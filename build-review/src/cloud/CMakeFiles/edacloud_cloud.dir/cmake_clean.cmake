@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_cloud.dir/heuristics.cpp.o"
+  "CMakeFiles/edacloud_cloud.dir/heuristics.cpp.o.d"
+  "CMakeFiles/edacloud_cloud.dir/mckp.cpp.o"
+  "CMakeFiles/edacloud_cloud.dir/mckp.cpp.o.d"
+  "CMakeFiles/edacloud_cloud.dir/pricing.cpp.o"
+  "CMakeFiles/edacloud_cloud.dir/pricing.cpp.o.d"
+  "CMakeFiles/edacloud_cloud.dir/savings.cpp.o"
+  "CMakeFiles/edacloud_cloud.dir/savings.cpp.o.d"
+  "libedacloud_cloud.a"
+  "libedacloud_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

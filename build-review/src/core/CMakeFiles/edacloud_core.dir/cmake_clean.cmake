@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_core.dir/batch.cpp.o"
+  "CMakeFiles/edacloud_core.dir/batch.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/characterize.cpp.o"
+  "CMakeFiles/edacloud_core.dir/characterize.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/dataset.cpp.o"
+  "CMakeFiles/edacloud_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/flow.cpp.o"
+  "CMakeFiles/edacloud_core.dir/flow.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/optimizer.cpp.o"
+  "CMakeFiles/edacloud_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/predictor.cpp.o"
+  "CMakeFiles/edacloud_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/report.cpp.o"
+  "CMakeFiles/edacloud_core.dir/report.cpp.o.d"
+  "CMakeFiles/edacloud_core.dir/stage.cpp.o"
+  "CMakeFiles/edacloud_core.dir/stage.cpp.o.d"
+  "libedacloud_core.a"
+  "libedacloud_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_ml.dir/baseline.cpp.o"
+  "CMakeFiles/edacloud_ml.dir/baseline.cpp.o.d"
+  "CMakeFiles/edacloud_ml.dir/batch.cpp.o"
+  "CMakeFiles/edacloud_ml.dir/batch.cpp.o.d"
+  "CMakeFiles/edacloud_ml.dir/gcn.cpp.o"
+  "CMakeFiles/edacloud_ml.dir/gcn.cpp.o.d"
+  "CMakeFiles/edacloud_ml.dir/matrix.cpp.o"
+  "CMakeFiles/edacloud_ml.dir/matrix.cpp.o.d"
+  "libedacloud_ml.a"
+  "libedacloud_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nl/aig.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/aig.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/aig.cpp.o.d"
+  "/root/repo/src/nl/aiger.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/aiger.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/aiger.cpp.o.d"
+  "/root/repo/src/nl/cell_library.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/cell_library.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/cell_library.cpp.o.d"
+  "/root/repo/src/nl/dot.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/dot.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/dot.cpp.o.d"
+  "/root/repo/src/nl/graph.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/graph.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/graph.cpp.o.d"
+  "/root/repo/src/nl/liberty.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/liberty.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/liberty.cpp.o.d"
+  "/root/repo/src/nl/netlist.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/netlist.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/netlist.cpp.o.d"
+  "/root/repo/src/nl/netlist_sim.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/netlist_sim.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/netlist_sim.cpp.o.d"
+  "/root/repo/src/nl/star_graph.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/star_graph.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/star_graph.cpp.o.d"
+  "/root/repo/src/nl/verilog.cpp" "src/nl/CMakeFiles/edacloud_nl.dir/verilog.cpp.o" "gcc" "src/nl/CMakeFiles/edacloud_nl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_nl.dir/aig.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/aig.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/aiger.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/aiger.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/cell_library.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/cell_library.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/dot.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/dot.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/graph.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/graph.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/liberty.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/liberty.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/netlist.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/netlist.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/netlist_sim.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/netlist_sim.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/star_graph.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/star_graph.cpp.o.d"
+  "CMakeFiles/edacloud_nl.dir/verilog.cpp.o"
+  "CMakeFiles/edacloud_nl.dir/verilog.cpp.o.d"
+  "libedacloud_nl.a"
+  "libedacloud_nl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_nl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_obs.dir/metrics.cpp.o"
+  "CMakeFiles/edacloud_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/edacloud_obs.dir/trace.cpp.o"
+  "CMakeFiles/edacloud_obs.dir/trace.cpp.o.d"
+  "libedacloud_obs.a"
+  "libedacloud_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/branch_sim.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/branch_sim.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/branch_sim.cpp.o.d"
+  "/root/repo/src/perf/cache_sim.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/cache_sim.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/perf/instrument.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/instrument.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/instrument.cpp.o.d"
+  "/root/repo/src/perf/obs_export.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/obs_export.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/obs_export.cpp.o.d"
+  "/root/repo/src/perf/runtime_model.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/runtime_model.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/runtime_model.cpp.o.d"
+  "/root/repo/src/perf/task_graph.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/task_graph.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/task_graph.cpp.o.d"
+  "/root/repo/src/perf/vm.cpp" "src/perf/CMakeFiles/edacloud_perf.dir/vm.cpp.o" "gcc" "src/perf/CMakeFiles/edacloud_perf.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/obs/CMakeFiles/edacloud_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

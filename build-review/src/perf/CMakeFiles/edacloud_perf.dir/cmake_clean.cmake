@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_perf.dir/branch_sim.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/branch_sim.cpp.o.d"
+  "CMakeFiles/edacloud_perf.dir/cache_sim.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/edacloud_perf.dir/instrument.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/instrument.cpp.o.d"
+  "CMakeFiles/edacloud_perf.dir/obs_export.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/obs_export.cpp.o.d"
+  "CMakeFiles/edacloud_perf.dir/runtime_model.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/runtime_model.cpp.o.d"
+  "CMakeFiles/edacloud_perf.dir/task_graph.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/task_graph.cpp.o.d"
+  "CMakeFiles/edacloud_perf.dir/vm.cpp.o"
+  "CMakeFiles/edacloud_perf.dir/vm.cpp.o.d"
+  "libedacloud_perf.a"
+  "libedacloud_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_place.dir/placer.cpp.o"
+  "CMakeFiles/edacloud_place.dir/placer.cpp.o.d"
+  "libedacloud_place.a"
+  "libedacloud_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_route.dir/layers.cpp.o"
+  "CMakeFiles/edacloud_route.dir/layers.cpp.o.d"
+  "CMakeFiles/edacloud_route.dir/router.cpp.o"
+  "CMakeFiles/edacloud_route.dir/router.cpp.o.d"
+  "libedacloud_route.a"
+  "libedacloud_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

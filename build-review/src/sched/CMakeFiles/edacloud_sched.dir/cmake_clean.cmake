@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_sched.dir/autoscaler.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/autoscaler.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/fault.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/fault.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/fleet.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/fleet.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/job.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/job.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/load_gen.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/load_gen.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/metrics.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/metrics.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/policy.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/edacloud_sched.dir/simulator.cpp.o"
+  "CMakeFiles/edacloud_sched.dir/simulator.cpp.o.d"
+  "libedacloud_sched.a"
+  "libedacloud_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

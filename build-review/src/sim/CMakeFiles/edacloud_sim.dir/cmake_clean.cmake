@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_sim.dir/simulator.cpp.o"
+  "CMakeFiles/edacloud_sim.dir/simulator.cpp.o.d"
+  "libedacloud_sim.a"
+  "libedacloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

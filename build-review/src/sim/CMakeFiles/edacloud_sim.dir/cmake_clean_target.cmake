@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedacloud_sim.a"
+)

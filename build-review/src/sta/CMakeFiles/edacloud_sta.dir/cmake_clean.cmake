@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_sta.dir/sizing.cpp.o"
+  "CMakeFiles/edacloud_sta.dir/sizing.cpp.o.d"
+  "CMakeFiles/edacloud_sta.dir/sta.cpp.o"
+  "CMakeFiles/edacloud_sta.dir/sta.cpp.o.d"
+  "libedacloud_sta.a"
+  "libedacloud_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/client.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/client.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/client.cpp.o.d"
+  "/root/repo/src/svc/json.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/json.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/json.cpp.o.d"
+  "/root/repo/src/svc/loadgen.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/loadgen.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/loadgen.cpp.o.d"
+  "/root/repo/src/svc/protocol.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/protocol.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/protocol.cpp.o.d"
+  "/root/repo/src/svc/server.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/server.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/server.cpp.o.d"
+  "/root/repo/src/svc/service.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/service.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/service.cpp.o.d"
+  "/root/repo/src/svc/wire.cpp" "src/svc/CMakeFiles/edacloud_svc.dir/wire.cpp.o" "gcc" "src/svc/CMakeFiles/edacloud_svc.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/edacloud_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/edacloud_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/synth/CMakeFiles/edacloud_synth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/route/CMakeFiles/edacloud_route.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sta/CMakeFiles/edacloud_sta.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/place/CMakeFiles/edacloud_place.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/edacloud_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cloud/CMakeFiles/edacloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/perf/CMakeFiles/edacloud_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/edacloud_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nl/CMakeFiles/edacloud_nl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

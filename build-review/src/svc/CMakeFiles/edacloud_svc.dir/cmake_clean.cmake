@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_svc.dir/client.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/client.cpp.o.d"
+  "CMakeFiles/edacloud_svc.dir/json.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/json.cpp.o.d"
+  "CMakeFiles/edacloud_svc.dir/loadgen.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/loadgen.cpp.o.d"
+  "CMakeFiles/edacloud_svc.dir/protocol.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/protocol.cpp.o.d"
+  "CMakeFiles/edacloud_svc.dir/server.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/server.cpp.o.d"
+  "CMakeFiles/edacloud_svc.dir/service.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/service.cpp.o.d"
+  "CMakeFiles/edacloud_svc.dir/wire.cpp.o"
+  "CMakeFiles/edacloud_svc.dir/wire.cpp.o.d"
+  "libedacloud_svc.a"
+  "libedacloud_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

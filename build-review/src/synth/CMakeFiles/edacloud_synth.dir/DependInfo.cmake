@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/aig_opt.cpp" "src/synth/CMakeFiles/edacloud_synth.dir/aig_opt.cpp.o" "gcc" "src/synth/CMakeFiles/edacloud_synth.dir/aig_opt.cpp.o.d"
+  "/root/repo/src/synth/buffering.cpp" "src/synth/CMakeFiles/edacloud_synth.dir/buffering.cpp.o" "gcc" "src/synth/CMakeFiles/edacloud_synth.dir/buffering.cpp.o.d"
+  "/root/repo/src/synth/cuts.cpp" "src/synth/CMakeFiles/edacloud_synth.dir/cuts.cpp.o" "gcc" "src/synth/CMakeFiles/edacloud_synth.dir/cuts.cpp.o.d"
+  "/root/repo/src/synth/engine.cpp" "src/synth/CMakeFiles/edacloud_synth.dir/engine.cpp.o" "gcc" "src/synth/CMakeFiles/edacloud_synth.dir/engine.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/synth/CMakeFiles/edacloud_synth.dir/mapper.cpp.o" "gcc" "src/synth/CMakeFiles/edacloud_synth.dir/mapper.cpp.o.d"
+  "/root/repo/src/synth/recipe.cpp" "src/synth/CMakeFiles/edacloud_synth.dir/recipe.cpp.o" "gcc" "src/synth/CMakeFiles/edacloud_synth.dir/recipe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nl/CMakeFiles/edacloud_nl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/perf/CMakeFiles/edacloud_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/edacloud_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

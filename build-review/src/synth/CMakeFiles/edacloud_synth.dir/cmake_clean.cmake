@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_synth.dir/aig_opt.cpp.o"
+  "CMakeFiles/edacloud_synth.dir/aig_opt.cpp.o.d"
+  "CMakeFiles/edacloud_synth.dir/buffering.cpp.o"
+  "CMakeFiles/edacloud_synth.dir/buffering.cpp.o.d"
+  "CMakeFiles/edacloud_synth.dir/cuts.cpp.o"
+  "CMakeFiles/edacloud_synth.dir/cuts.cpp.o.d"
+  "CMakeFiles/edacloud_synth.dir/engine.cpp.o"
+  "CMakeFiles/edacloud_synth.dir/engine.cpp.o.d"
+  "CMakeFiles/edacloud_synth.dir/mapper.cpp.o"
+  "CMakeFiles/edacloud_synth.dir/mapper.cpp.o.d"
+  "CMakeFiles/edacloud_synth.dir/recipe.cpp.o"
+  "CMakeFiles/edacloud_synth.dir/recipe.cpp.o.d"
+  "libedacloud_synth.a"
+  "libedacloud_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_util.dir/csv.cpp.o"
+  "CMakeFiles/edacloud_util.dir/csv.cpp.o.d"
+  "CMakeFiles/edacloud_util.dir/histogram.cpp.o"
+  "CMakeFiles/edacloud_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/edacloud_util.dir/log.cpp.o"
+  "CMakeFiles/edacloud_util.dir/log.cpp.o.d"
+  "CMakeFiles/edacloud_util.dir/strings.cpp.o"
+  "CMakeFiles/edacloud_util.dir/strings.cpp.o.d"
+  "CMakeFiles/edacloud_util.dir/table.cpp.o"
+  "CMakeFiles/edacloud_util.dir/table.cpp.o.d"
+  "CMakeFiles/edacloud_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/edacloud_util.dir/thread_pool.cpp.o.d"
+  "libedacloud_util.a"
+  "libedacloud_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

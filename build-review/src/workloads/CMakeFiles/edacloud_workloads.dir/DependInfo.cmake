@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/generators.cpp" "src/workloads/CMakeFiles/edacloud_workloads.dir/generators.cpp.o" "gcc" "src/workloads/CMakeFiles/edacloud_workloads.dir/generators.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/edacloud_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/edacloud_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nl/CMakeFiles/edacloud_nl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

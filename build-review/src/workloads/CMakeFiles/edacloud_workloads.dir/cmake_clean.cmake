@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edacloud_workloads.dir/generators.cpp.o"
+  "CMakeFiles/edacloud_workloads.dir/generators.cpp.o.d"
+  "CMakeFiles/edacloud_workloads.dir/registry.cpp.o"
+  "CMakeFiles/edacloud_workloads.dir/registry.cpp.o.d"
+  "libedacloud_workloads.a"
+  "libedacloud_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edacloud_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

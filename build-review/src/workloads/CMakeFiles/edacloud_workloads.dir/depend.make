@@ -1,0 +1,2 @@
+# Empty dependencies file for edacloud_workloads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_sim_test.dir/branch_sim_test.cpp.o"
+  "CMakeFiles/branch_sim_test.dir/branch_sim_test.cpp.o.d"
+  "branch_sim_test"
+  "branch_sim_test.pdb"
+  "branch_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

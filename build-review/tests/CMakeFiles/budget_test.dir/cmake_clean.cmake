@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_test.dir/budget_test.cpp.o"
+  "CMakeFiles/budget_test.dir/budget_test.cpp.o.d"
+  "budget_test"
+  "budget_test.pdb"
+  "budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffering_test.dir/buffering_test.cpp.o"
+  "CMakeFiles/buffering_test.dir/buffering_test.cpp.o.d"
+  "buffering_test"
+  "buffering_test.pdb"
+  "buffering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_library_test.dir/cell_library_test.cpp.o"
+  "CMakeFiles/cell_library_test.dir/cell_library_test.cpp.o.d"
+  "cell_library_test"
+  "cell_library_test.pdb"
+  "cell_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuts_test.dir/cuts_test.cpp.o"
+  "CMakeFiles/cuts_test.dir/cuts_test.cpp.o.d"
+  "cuts_test"
+  "cuts_test.pdb"
+  "cuts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow_determinism_test.cpp" "tests/CMakeFiles/flow_determinism_test.dir/flow_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/flow_determinism_test.dir/flow_determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/svc/CMakeFiles/edacloud_svc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sched/CMakeFiles/edacloud_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/edacloud_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/edacloud_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/synth/CMakeFiles/edacloud_synth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/place/CMakeFiles/edacloud_place.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/route/CMakeFiles/edacloud_route.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sta/CMakeFiles/edacloud_sta.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/edacloud_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/ml/CMakeFiles/edacloud_ml.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cloud/CMakeFiles/edacloud_cloud.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/perf/CMakeFiles/edacloud_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nl/CMakeFiles/edacloud_nl.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/edacloud_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/edacloud_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_determinism_test.dir/flow_determinism_test.cpp.o"
+  "CMakeFiles/flow_determinism_test.dir/flow_determinism_test.cpp.o.d"
+  "flow_determinism_test"
+  "flow_determinism_test.pdb"
+  "flow_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

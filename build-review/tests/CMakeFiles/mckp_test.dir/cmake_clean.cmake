@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mckp_test.dir/mckp_test.cpp.o"
+  "CMakeFiles/mckp_test.dir/mckp_test.cpp.o.d"
+  "mckp_test"
+  "mckp_test.pdb"
+  "mckp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mckp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

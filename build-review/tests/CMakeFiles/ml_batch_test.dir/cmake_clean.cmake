@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_batch_test.dir/ml_batch_test.cpp.o"
+  "CMakeFiles/ml_batch_test.dir/ml_batch_test.cpp.o.d"
+  "ml_batch_test"
+  "ml_batch_test.pdb"
+  "ml_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
