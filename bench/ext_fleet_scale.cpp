@@ -1,0 +1,169 @@
+// Fleet-scale extension ladder (beyond the paper): how far does the
+// discrete-event fleet simulation carry when the fleet is 10^2 .. 10^6 VMs,
+// and what does sharding it into conservative-lookahead logical processes
+// (sched::ShardedFleetSimulator, DESIGN.md §13) buy? Each rung warms an
+// evenly spread fleet, drives an arrival rate proportional to its size, and
+// runs the identical seeded workload at 1, 4 and 8 shards. The headline is
+// simulated events per wall-clock second; the 1-vs-N speedup is *measured*,
+// never asserted — on a single-CPU host it is ~1.0x and reported as such.
+// The harness also enforces the determinism contract the tests pin down:
+// every rung's metrics export must be byte-identical across shard counts
+// (exit status 1 if any rung diverges).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sched/sharded_simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace edacloud;
+
+namespace {
+
+struct Rung {
+  int vms = 0;
+  double duration_seconds = 0.0;  // shorter sim windows at the big rungs
+};
+
+sched::ShardedSimConfig rung_config(const Rung& rung, int shards,
+                                    int threads) {
+  sched::ShardedSimConfig config;
+  config.base.seed = 20260807;
+  config.base.duration_seconds = rung.duration_seconds;
+  // ~2 jobs per VM-hour keeps the warm fleet loaded without unbounded
+  // queue growth at any rung size.
+  config.base.load.arrival_rate_per_hour = 2.0 * rung.vms;
+  config.base.load.mix = sched::uniform_mix();
+  config.base.fleet.boot_seconds = 45.0;
+
+  // Spread the fleet evenly over all 12 canonical pools and pin the
+  // autoscaler's floor/ceiling around that size so the rung really
+  // simulates ~`vms` machines.
+  const int per_pool =
+      std::max(1, rung.vms / sched::ShardTopology::kPoolCount);
+  for (int pool = 0; pool < sched::ShardTopology::kPoolCount; ++pool) {
+    config.base.warm_pools.emplace_back(sched::ShardTopology::pool_at(pool),
+                                        per_pool);
+  }
+  config.base.autoscaler.min_vms = per_pool;
+  config.base.autoscaler.max_vms = 2 * per_pool;
+  config.base.autoscaler.max_step_up = std::max(8, per_pool / 8);
+
+  config.shards = shards;
+  config.handoff_latency_seconds = 5.0;
+  config.threads = threads;
+  return config;
+}
+
+struct Sample {
+  std::uint64_t jobs = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  double wall_seconds = 0.0;
+  std::string metrics_json;  // byte-compared across shard counts
+};
+
+Sample run_rung(const Rung& rung, int shards, int threads) {
+  sched::ShardedFleetSimulator sim(rung_config(rung, shards, threads),
+                                   sched::builtin_templates(), "cost");
+  const auto start = std::chrono::steady_clock::now();
+  const sched::FleetMetrics metrics = sim.run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  Sample sample;
+  sample.jobs = metrics.jobs_completed;
+  sample.events = sim.total_events();
+  sample.windows = sim.windows();
+  sample.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  obs::Registry registry;
+  metrics.export_to(registry, {{"bench", "ext_fleet_scale"}});
+  sample.metrics_json = registry.to_json();
+
+  obs::Labels labels = {{"vms", std::to_string(rung.vms)},
+                        {"shards", std::to_string(shards)}};
+  sim.export_shard_stats(obs::Registry::global(), labels);
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = bench::fast_mode(argc, argv);
+  const int threads = bench::apply_threads(argc, argv);
+  bench::observability_setup(argc, argv, obs::ClockMode::kVirtual);
+
+  // Big rungs shorten the simulated window: events/sec is a rate, so the
+  // measurement does not need 10^6 VMs for a full half hour of sim time.
+  std::vector<Rung> rungs = {
+      {100, 1800.0},       {1'000, 1800.0},  {10'000, 1800.0},
+      {100'000, 900.0},    {1'000'000, 300.0},
+  };
+  if (fast) rungs.resize(3);
+  const std::vector<int> shard_counts = {1, 4, 8};
+
+  std::printf(
+      "=== Fleet scale: sharded DES ladder (%s mode, %d thread(s)) ===\n"
+      "Speedup is measured wall time vs the 1-shard run of the same rung —\n"
+      "on a single-CPU host expect ~1.0x; sharding pays off with real "
+      "cores.\n",
+      fast ? "fast" : "full", threads);
+
+  util::Table table({"VMs", "Shards", "Jobs", "Events", "Windows",
+                     "Wall (s)", "Events/s", "Speedup", "Identical"});
+  util::CsvWriter csv({"vms", "shards", "threads", "jobs_completed",
+                       "events", "windows", "wall_seconds", "events_per_sec",
+                       "speedup_vs_1shard", "metrics_identical"});
+
+  bool all_identical = true;
+  for (const Rung& rung : rungs) {
+    double baseline_wall = 0.0;
+    std::string baseline_json;
+    for (const int shards : shard_counts) {
+      const Sample sample = run_rung(rung, shards, threads);
+      if (shards == 1) {
+        baseline_wall = sample.wall_seconds;
+        baseline_json = sample.metrics_json;
+      }
+      const bool identical = sample.metrics_json == baseline_json;
+      all_identical = all_identical && identical;
+      const double events_per_sec =
+          sample.wall_seconds > 0.0
+              ? static_cast<double>(sample.events) / sample.wall_seconds
+              : 0.0;
+      const double speedup = sample.wall_seconds > 0.0
+                                 ? baseline_wall / sample.wall_seconds
+                                 : 0.0;
+      table.add_row({util::format_count(rung.vms), std::to_string(shards),
+                     util::format_count(static_cast<long long>(sample.jobs)),
+                     util::format_count(static_cast<long long>(sample.events)),
+                     std::to_string(sample.windows),
+                     util::format_fixed(sample.wall_seconds, 3),
+                     util::format_count(static_cast<long long>(events_per_sec)),
+                     util::format_fixed(speedup, 2) + "x",
+                     identical ? "yes" : "NO"});
+      csv.add_row({std::to_string(rung.vms), std::to_string(shards),
+                   std::to_string(threads), std::to_string(sample.jobs),
+                   std::to_string(sample.events),
+                   std::to_string(sample.windows),
+                   util::format_fixed(sample.wall_seconds, 4),
+                   util::format_fixed(events_per_sec, 0),
+                   util::format_fixed(speedup, 3),
+                   identical ? "1" : "0"});
+    }
+    table.add_separator();
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("metrics byte-identical across shard counts at every rung: "
+              "%s\n",
+              all_identical ? "yes" : "NO — determinism contract violated");
+
+  bench::write_csv(csv, "ext_fleet_scale.csv");
+  bench::observability_flush(argc, argv);
+  return all_identical ? 0 : 1;
+}

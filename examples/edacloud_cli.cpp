@@ -11,6 +11,8 @@
 //                          [--boot-fail P] [--restart MODEL]
 //                          [--checkpoint-interval S] [--checkpoint-overhead S]
 //                          [--max-attempts N] [--threads N]
+//                          [--shards N] [--handoff-latency S]
+//                          [--lookahead S] [--shard-stats]
 //                          [--trace F] [--metrics F]
 //   edacloud_cli predict <family> <size> [--job NAME] [--batch N]
 //                        [--cache N] [--threads N] [--repeat N]
@@ -83,6 +85,8 @@ void print_usage(std::FILE* out) {
                "                         [--checkpoint-interval SECONDS]\n"
                "                         [--checkpoint-overhead SECONDS]\n"
                "                         [--max-attempts N] [--threads N]\n"
+               "                         [--shards N] [--handoff-latency S]\n"
+               "                         [--lookahead S] [--shard-stats]\n"
                "                         [--trace F] [--metrics F]\n"
                "  edacloud_cli predict <family> <size> [--job NAME]\n"
                "                       [--batch N] [--cache N] [--threads N]\n"
@@ -451,6 +455,43 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
     return 2;
   }
 
+  // Sharded engine knobs (DESIGN.md §13, docs/SIMULATION.md). Passing any
+  // of them selects the sharded simulator; without them the classic
+  // sequential engine runs, byte-for-byte as before.
+  sched::ShardedSimConfig sharded;
+  bool use_sharded = false;
+  const std::string shards_flag = flag_value(args, "--shards");
+  if (!shards_flag.empty()) {
+    sharded.shards = std::atoi(shards_flag.c_str());
+    if (sharded.shards < 1 ||
+        sharded.shards > sched::ShardTopology::kPoolCount) {
+      std::fprintf(stderr, "error: --shards wants 1..%d\n",
+                   sched::ShardTopology::kPoolCount);
+      return 2;
+    }
+    use_sharded = true;
+  }
+  const std::string handoff_flag = flag_value(args, "--handoff-latency");
+  if (!handoff_flag.empty()) {
+    sharded.handoff_latency_seconds = std::atof(handoff_flag.c_str());
+    if (sharded.handoff_latency_seconds <= 0.0) {
+      std::fprintf(stderr, "error: --handoff-latency wants seconds > 0\n");
+      return 2;
+    }
+    use_sharded = true;
+  }
+  const std::string lookahead_flag = flag_value(args, "--lookahead");
+  if (!lookahead_flag.empty()) {
+    sharded.lookahead_seconds = std::atof(lookahead_flag.c_str());
+    if (sharded.lookahead_seconds <= 0.0) {
+      std::fprintf(stderr, "error: --lookahead wants seconds > 0\n");
+      return 2;
+    }
+    use_sharded = true;
+  }
+  const bool shard_stats = has_flag(args, "--shard-stats");
+  if (shard_stats) use_sharded = true;
+
   const std::string trace_path = flag_value(args, "--trace");
   const std::string metrics_path = flag_value(args, "--metrics");
   if (!trace_path.empty()) {
@@ -466,9 +507,40 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
       config.load.arrival_rate_per_hour, config.duration_seconds,
       static_cast<unsigned long long>(config.seed),
       config.fleet.spot_fraction * 100.0);
-  sched::FleetSimulator sim(config, sched::builtin_templates(),
-                            sched::make_policy(policy_name));
-  const sched::FleetMetrics metrics = sim.run();
+  sched::FleetMetrics metrics;
+  if (use_sharded) {
+    sharded.base = config;
+    sharded.threads = util::global_thread_count();
+    std::printf("fleet-sim: sharded engine, %d shard(s), handoff %.3gs, "
+                "lookahead %.3gs\n",
+                sharded.shards, sharded.handoff_latency_seconds,
+                sharded.lookahead_seconds > 0.0
+                    ? sharded.lookahead_seconds
+                    : sharded.handoff_latency_seconds);
+    sched::ShardedFleetSimulator sim(sharded, sched::builtin_templates(),
+                                     policy_name);
+    metrics = sim.run();
+    if (shard_stats) {
+      sim.export_shard_stats(obs::Registry::global(),
+                             {{"policy", policy_name}});
+      for (std::size_t s = 0; s < sim.shard_stats().size(); ++s) {
+        const sched::ShardStats& stats = sim.shard_stats()[s];
+        std::printf("shard %zu: %d pool(s), %llu events, %llu handoffs out, "
+                    "%llu in\n",
+                    s, stats.pools_owned,
+                    static_cast<unsigned long long>(stats.events_processed),
+                    static_cast<unsigned long long>(stats.handoffs_out),
+                    static_cast<unsigned long long>(stats.handoffs_in));
+      }
+      std::printf("windows: %llu, events total: %llu\n",
+                  static_cast<unsigned long long>(sim.windows()),
+                  static_cast<unsigned long long>(sim.total_events()));
+    }
+  } else {
+    sched::FleetSimulator sim(config, sched::builtin_templates(),
+                              sched::make_policy(policy_name));
+    metrics = sim.run();
+  }
   std::printf("%s", metrics.render().c_str());
 
   if (!trace_path.empty()) {
@@ -976,8 +1048,9 @@ int main(int argc, char** argv) {
        {{"--arrival-rate", "--policy", "--seed", "--duration", "--mix",
          "--spot", "--interruption-rate", "--crash-rate", "--boot-fail",
          "--restart", "--checkpoint-interval", "--checkpoint-overhead",
-         "--max-attempts", "--threads", "--trace", "--metrics"},
-        {}}},
+         "--max-attempts", "--threads", "--shards", "--handoff-latency",
+         "--lookahead", "--trace", "--metrics"},
+        {"--shard-stats"}}},
       {"predict",
        cmd_predict,
        {{"--job", "--batch", "--cache", "--threads", "--repeat",

@@ -236,6 +236,72 @@ batch_smoke() {
 
 batch_smoke
 
+# Sharded-simulator smoke-run: the determinism contract from the CLI side —
+# the same seed at 1 and 8 shards (and across thread counts) must export
+# byte-identical metrics — plus a docs acceptance check: every fleet-sim
+# flag documented in docs/SIMULATION.md must be accepted by the binary
+# (docs/SIMULATION.md, DESIGN.md §13).
+shard_smoke() {
+  local cli="build/examples/edacloud_cli"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  echo "=== shard smoke: shards-1-vs-8 byte-identity ==="
+  # Faults on, so the per-pool RNG streams are actually exercised; traces
+  # on the virtual clock must match byte-for-byte too.
+  local sim_flags=(--seed 11 --duration 3600 --mix bursty --spot 0.5
+    --interruption-rate 2 --crash-rate 0.3 --boot-fail 0.05
+    --restart checkpoint --checkpoint-interval 300 --handoff-latency 2)
+  "${cli}" fleet-sim "${sim_flags[@]}" --shards 1 --threads 1 \
+    --trace "${tmp}/shard_1.json" --metrics "${tmp}/shard_m1.json" > /dev/null
+  "${cli}" fleet-sim "${sim_flags[@]}" --shards 8 --threads 1 \
+    --trace "${tmp}/shard_8.json" --metrics "${tmp}/shard_m8.json" > /dev/null
+  "${cli}" fleet-sim "${sim_flags[@]}" --shards 8 --threads 4 \
+    --trace "${tmp}/shard_8t4.json" --metrics "${tmp}/shard_m8t4.json" \
+    > /dev/null
+  python3 -m json.tool "${tmp}/shard_m1.json" > /dev/null
+  cmp "${tmp}/shard_m1.json" "${tmp}/shard_m8.json"
+  cmp "${tmp}/shard_m1.json" "${tmp}/shard_m8t4.json"
+  cmp "${tmp}/shard_1.json" "${tmp}/shard_8.json"
+  cmp "${tmp}/shard_1.json" "${tmp}/shard_8t4.json"
+
+  echo "=== shard smoke: engine banner, stats, flag validation ==="
+  "${cli}" fleet-sim --seed 11 --duration 1800 --shards 4 --lookahead 0.5 \
+    --shard-stats > "${tmp}/stats.out"
+  grep -q 'sharded engine, 4 shard(s)' "${tmp}/stats.out"
+  grep -q 'shard 0:' "${tmp}/stats.out"
+  "${cli}" fleet-sim --shards 13 > /dev/null 2>&1 && {
+    echo "shard smoke: out-of-range --shards exited 0" >&2
+    return 1
+  }
+  "${cli}" fleet-sim --shards 0 > /dev/null 2>&1 && {
+    echo "shard smoke: --shards 0 exited 0" >&2
+    return 1
+  }
+
+  echo "=== shard smoke: SIMULATION.md flag reference is accepted ==="
+  # Every --flag named in a docs table row (the fault-knob and flag-reference
+  # tables) must be accepted by the binary; doc/CLI drift fails tier-1.
+  local doc_flags
+  doc_flags="$(grep -o '^| `--[a-z-]*' docs/SIMULATION.md |
+    grep -o '\--[a-z-]*' | sort -u)"
+  [[ -n "${doc_flags}" ]] || {
+    echo "shard smoke: no flags parsed from docs/SIMULATION.md" >&2
+    return 1
+  }
+  local flag
+  for flag in ${doc_flags}; do
+    "${cli}" fleet-sim --help | grep -q -- "${flag}" || {
+      echo "shard smoke: ${flag} documented in SIMULATION.md but absent" \
+        "from fleet-sim --help" >&2
+      return 1
+    }
+  done
+}
+
+shard_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
 
@@ -247,7 +313,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j
   echo "=== tsan: ctest (concurrency suites) ==="
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|MlBatchTest')
+    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|MlBatchTest|SchedShardTest')
 fi
 
 echo "=== all passes green ==="

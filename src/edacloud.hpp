@@ -19,6 +19,7 @@
 #include "core/stage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/sharded_simulator.hpp"
 #include "sched/simulator.hpp"
 #include "svc/loadgen.hpp"
 #include "svc/server.hpp"

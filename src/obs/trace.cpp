@@ -127,6 +127,13 @@ void Tracer::emit_counter(std::string_view name, double ts_us, double value) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::emit_batch(std::vector<TraceEvent> events) {
+  if (!enabled() || events.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.reserve(events_.size() + events.size());
+  for (TraceEvent& event : events) events_.push_back(std::move(event));
+}
+
 std::uint32_t Tracer::thread_lane() {
   // Pool workers get a deterministic lane derived from their slot instead
   // of a registration-order one: pools can be torn down and recreated at a

@@ -68,6 +68,12 @@ class Tracer {
                      std::vector<TraceArg> args = {});
   /// Record a counter sample (rendered as a stacked area track).
   void emit_counter(std::string_view name, double ts_us, double value);
+  /// Bulk-append pre-built events under one lock. The sharded fleet
+  /// simulator buffers per-pool events during the run and flushes the
+  /// buffers in canonical pool order afterwards, so the recorded insertion
+  /// order — to_json()'s final sort tie-break — never depends on shard or
+  /// thread scheduling.
+  void emit_batch(std::vector<TraceEvent> events);
 
   /// Lanes at or above this value belong to util::ThreadPool workers:
   /// lane = kPoolLaneBase + (pool slot - 1). Pool lanes are a pure function

@@ -1,7 +1,9 @@
 #pragma once
-// Deterministic discrete-event core for the fleet simulator: a min-heap
-// over (sim-time, insertion sequence), so simultaneous events always fire
-// in the order they were scheduled — identical on every platform and run.
+// Deterministic discrete-event core for the sequential fleet simulator: a
+// min-heap over (sim-time, insertion sequence), so simultaneous events
+// always fire in the order they were scheduled — identical on every
+// platform and run. The sharded engine uses sched::ShardEventQueue instead,
+// which deliberately has NO insertion sequence (see shard.hpp for why).
 
 #include <cstdint>
 #include <queue>
@@ -9,6 +11,8 @@
 
 namespace edacloud::sched {
 
+/// Event kinds the sequential simulator processes. Values are scheduling
+/// payloads, not priorities — ordering is purely (time, seq).
 enum class EventType : std::uint8_t {
   kJobArrival,       // LoadGenerator delivers a new flow job
   kVmBootComplete,   // a launched VM becomes schedulable (or fails to boot)
@@ -19,27 +23,38 @@ enum class EventType : std::uint8_t {
   kAutoscalerTick,   // periodic fleet-sizing decision
 };
 
+/// One scheduled occurrence. `job_id` / `vm_id` are meaningful only for
+/// the event kinds that reference a job or machine (see EventType); the
+/// defaults mark "not applicable".
 struct Event {
-  double time = 0.0;
+  double time = 0.0;      // absolute simulated seconds
   std::uint64_t seq = 0;  // assigned by the queue; breaks time ties FIFO
   EventType type = EventType::kJobArrival;
   std::uint64_t job_id = 0;
   int vm_id = -1;
 };
 
+/// FIFO-tie-broken min-heap of Events. Determinism contract: two pushes at
+/// the same `time` pop in push order, so a simulator draining this queue is
+/// a pure function of its push sequence — no platform-dependent heap
+/// behavior ever shows through.
 class EventQueue {
  public:
+  /// Schedule `type` at absolute sim time `time`. The insertion sequence
+  /// number is assigned here — callers never supply one.
   void push(double time, EventType type, std::uint64_t job_id = 0,
             int vm_id = -1) {
     heap_.push(Event{time, next_seq_++, type, job_id, vm_id});
   }
 
+  /// Remove and return the earliest event. Precondition: !empty().
   Event pop() {
     Event event = heap_.top();
     heap_.pop();
     return event;
   }
 
+  /// The earliest event without removing it. Precondition: !empty().
   [[nodiscard]] const Event& peek() const { return heap_.top(); }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }

@@ -21,6 +21,9 @@ int Fleet::launch(const PoolKey& pool, double now, util::Rng& rng, bool warm) {
   vm.state = warm ? VmInstance::State::kIdle : VmInstance::State::kBooting;
   vms_.push_back(vm);
   by_pool_[pool].push_back(vm.id);
+  if (warm) idle_by_pool_[pool].insert(vm.id);
+  ++counts_[pool].alive;
+  ++total_alive_;
   return vm.id;
 }
 
@@ -28,6 +31,7 @@ void Fleet::mark_ready(int id) {
   VmInstance& vm = vms_[id];
   if (vm.state == VmInstance::State::kBooting) {
     vm.state = VmInstance::State::kIdle;
+    idle_by_pool_[vm.pool].insert(id);
   }
 }
 
@@ -42,6 +46,8 @@ void Fleet::assign(int id, std::uint64_t job, double now,
   vm.run_start = now;
   vm.run_service = service_seconds;
   vm.run_work = work_seconds < 0.0 ? service_seconds : work_seconds;
+  idle_by_pool_[vm.pool].erase(id);
+  ++counts_[vm.pool].busy;
 }
 
 void Fleet::release(int id, double now) {
@@ -54,6 +60,8 @@ void Fleet::release(int id, double now) {
   vm.running_job = kNoJob;
   vm.run_service = 0.0;
   vm.run_work = 0.0;
+  idle_by_pool_[vm.pool].insert(id);
+  --counts_[vm.pool].busy;
 }
 
 void Fleet::retire(int id, double now) {
@@ -62,9 +70,14 @@ void Fleet::retire(int id, double now) {
   if (vm.state == VmInstance::State::kBusy) {
     vm.busy_seconds += now - vm.run_start;
     vm.running_job = kNoJob;
+    --counts_[vm.pool].busy;
+  } else if (vm.state == VmInstance::State::kIdle) {
+    idle_by_pool_[vm.pool].erase(id);
   }
   vm.state = VmInstance::State::kRetired;
   vm.retire_time = now;
+  --counts_[vm.pool].alive;
+  --total_alive_;
 }
 
 std::vector<PoolKey> Fleet::pools() const {
@@ -75,46 +88,31 @@ std::vector<PoolKey> Fleet::pools() const {
 }
 
 std::vector<int> Fleet::idle_in(const PoolKey& pool) const {
-  std::vector<int> idle;
-  const auto it = by_pool_.find(pool);
-  if (it == by_pool_.end()) return idle;
-  for (const int id : it->second) {
-    if (vms_[id].state == VmInstance::State::kIdle) idle.push_back(id);
-  }
-  return idle;
+  const std::set<int>& idle = idle_set(pool);
+  return std::vector<int>(idle.begin(), idle.end());
+}
+
+const std::set<int>& Fleet::idle_set(const PoolKey& pool) const {
+  static const std::set<int> kEmpty;
+  const auto it = idle_by_pool_.find(pool);
+  return it == idle_by_pool_.end() ? kEmpty : it->second;
 }
 
 int Fleet::alive_count(const PoolKey& pool) const {
-  int count = 0;
-  const auto it = by_pool_.find(pool);
-  if (it == by_pool_.end()) return 0;
-  for (const int id : it->second) {
-    if (vms_[id].state != VmInstance::State::kRetired) ++count;
-  }
-  return count;
+  const auto it = counts_.find(pool);
+  return it == counts_.end() ? 0 : it->second.alive;
 }
 
 int Fleet::busy_count(const PoolKey& pool) const {
-  int count = 0;
-  const auto it = by_pool_.find(pool);
-  if (it == by_pool_.end()) return 0;
-  for (const int id : it->second) {
-    if (vms_[id].state == VmInstance::State::kBusy) ++count;
-  }
-  return count;
+  const auto it = counts_.find(pool);
+  return it == counts_.end() ? 0 : it->second.busy;
 }
 
 int Fleet::idle_count(const PoolKey& pool) const {
-  return static_cast<int>(idle_in(pool).size());
+  return static_cast<int>(idle_set(pool).size());
 }
 
-int Fleet::total_alive() const {
-  int count = 0;
-  for (const auto& vm : vms_) {
-    if (vm.state != VmInstance::State::kRetired) ++count;
-  }
-  return count;
-}
+int Fleet::total_alive() const { return total_alive_; }
 
 double Fleet::hourly_rate_usd(const VmInstance& vm) const {
   double rate = config_.catalog.hourly_usd(vm.pool.family, vm.pool.vcpus);

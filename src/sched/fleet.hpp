@@ -6,6 +6,7 @@
 
 #include <compare>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,10 @@ class Fleet {
   [[nodiscard]] std::vector<PoolKey> pools() const;
   /// Idle VM ids in `pool`, ascending (the dispatch order).
   [[nodiscard]] std::vector<int> idle_in(const PoolKey& pool) const;
+  /// The live idle-id set for `pool` (ascending), maintained incrementally —
+  /// the O(1)-per-transition view the sharded simulator dispatches from.
+  /// Invalidated by assign/retire of a member; advance iterators first.
+  [[nodiscard]] const std::set<int>& idle_set(const PoolKey& pool) const;
   [[nodiscard]] int alive_count(const PoolKey& pool) const;
   [[nodiscard]] int busy_count(const PoolKey& pool) const;
   [[nodiscard]] int idle_count(const PoolKey& pool) const;
@@ -97,9 +102,19 @@ class Fleet {
   [[nodiscard]] const FleetConfig& config() const { return config_; }
 
  private:
+  // Per-pool incremental tallies so count queries never rescan the VM list
+  // (a million-VM fleet would otherwise pay O(pool) per dispatch).
+  struct PoolCounts {
+    int alive = 0;
+    int busy = 0;
+  };
+
   FleetConfig config_;
   std::vector<VmInstance> vms_;
   std::map<PoolKey, std::vector<int>> by_pool_;
+  std::map<PoolKey, std::set<int>> idle_by_pool_;
+  std::map<PoolKey, PoolCounts> counts_;
+  int total_alive_ = 0;
 };
 
 }  // namespace edacloud::sched

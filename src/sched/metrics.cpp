@@ -47,6 +47,26 @@ void MetricsCollector::record_completion(const Job& job,
   if (job.completion_time > job.slo_deadline) ++slo_violations_;
 }
 
+void MetricsCollector::merge_from(const MetricsCollector& other) {
+  submitted_ += other.submitted_;
+  completed_ += other.completed_;
+  failed_ += other.failed_;
+  dispatched_ += other.dispatched_;
+  preemptions_ += other.preemptions_;
+  crashes_ += other.crashes_;
+  boot_failures_ += other.boot_failures_;
+  retries_ += other.retries_;
+  spot_fallbacks_ += other.spot_fallbacks_;
+  slo_violations_ += other.slo_violations_;
+  queue_wait_sum_ += other.queue_wait_sum_;
+  wasted_seconds_ += other.wasted_seconds_;
+  checkpoint_overhead_seconds_ += other.checkpoint_overhead_seconds_;
+  latencies_.insert(latencies_.end(), other.latencies_.begin(),
+                    other.latencies_.end());
+  slowdowns_.insert(slowdowns_.end(), other.slowdowns_.begin(),
+                    other.slowdowns_.end());
+}
+
 FleetMetrics MetricsCollector::finalize(double arrival_window_seconds,
                                         double drained_at_seconds,
                                         const FleetStats& fleet) const {

@@ -89,6 +89,12 @@ class MetricsCollector {
   /// (the slowdown denominator).
   void record_completion(const Job& job, double best_case_service_seconds);
 
+  /// Absorb another collector's samples (the sharded simulator keeps one
+  /// collector per pool and merges them in canonical pool order, so the
+  /// sample vectors — and therefore every float accumulation — end up in a
+  /// shard-count-independent order).
+  void merge_from(const MetricsCollector& other);
+
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
   [[nodiscard]] std::uint64_t failed() const { return failed_; }

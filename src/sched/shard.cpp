@@ -1,0 +1,45 @@
+#include "sched/shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edacloud::sched {
+
+ShardTopology::ShardTopology(int shard_count) : shard_count_(shard_count) {
+  if (shard_count < 1 || shard_count > kPoolCount) {
+    throw std::invalid_argument("shard_count must be in [1, " +
+                                std::to_string(kPoolCount) + "]");
+  }
+  pools_of_shard_.resize(static_cast<std::size_t>(shard_count));
+  for (int pool = 0; pool < kPoolCount; ++pool) {
+    pools_of_shard_[static_cast<std::size_t>(shard_of_pool(pool))].push_back(
+        pool);
+  }
+}
+
+int ShardTopology::pool_index(const PoolKey& key) {
+  const auto it = std::find(perf::kVcpuOptions.begin(),
+                            perf::kVcpuOptions.end(), key.vcpus);
+  if (it == perf::kVcpuOptions.end()) {
+    throw std::invalid_argument("pool_index: unknown vCPU size " +
+                                std::to_string(key.vcpus));
+  }
+  const int size_index =
+      static_cast<int>(std::distance(perf::kVcpuOptions.begin(), it));
+  return static_cast<int>(key.family) *
+             static_cast<int>(perf::kVcpuOptions.size()) +
+         size_index;
+}
+
+PoolKey ShardTopology::pool_at(int index) {
+  if (index < 0 || index >= kPoolCount) {
+    throw std::invalid_argument("pool_at: index out of range");
+  }
+  const int sizes = static_cast<int>(perf::kVcpuOptions.size());
+  PoolKey key;
+  key.family = static_cast<perf::InstanceFamily>(index / sizes);
+  key.vcpus = perf::kVcpuOptions[static_cast<std::size_t>(index % sizes)];
+  return key;
+}
+
+}  // namespace edacloud::sched

@@ -1,0 +1,155 @@
+#pragma once
+// Sharded parallel discrete-event fleet simulator (DESIGN.md §13,
+// docs/SIMULATION.md). The fleet is partitioned by (family, vCPU) pool:
+// every pool — its VMs, queue, autoscaler, RNG streams and metrics — is
+// owned by exactly one shard, and shards execute their event queues
+// concurrently on util::thread_pool inside conservative synchronization
+// windows:
+//
+//   LBTS       = min over shards (and the pending arrival) of the next
+//                event time — no shard may ever see an event earlier;
+//   window     = [LBTS, LBTS + lookahead);
+//   guarantee  = a job handed off inside the window is delivered at
+//                send_time + handoff_latency >= window end, so delivering
+//                all handoffs at the barrier after the window can never
+//                create an event in a shard's past (when the configured
+//                lookahead <= the real handoff latency; the barrier
+//                asserts this and throws on violation).
+//
+// The hard contract: for a fixed (config, seed), metrics and traces are
+// byte-identical at ANY shard count and ANY thread count. What makes this
+// hold (and what to preserve when editing):
+//   * pool-local determinism — every RNG stream, VM id space, task
+//     sequence and autoscaler tick is per-pool, derived only from the
+//     master seed and the canonical pool index;
+//   * uniform handoff latency — stage handoffs pay handoff_latency even
+//     when source and destination pools share a shard, so event times are
+//     independent of the pool -> shard map;
+//   * intrinsic event ordering — ShardEventLater orders simultaneous
+//     events by content, never by insertion order;
+//   * canonical merges — per-pool metrics, fleet stats and trace buffers
+//     are folded in pool-index order by the coordinator, single-threaded.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/shard.hpp"
+#include "sched/simulator.hpp"
+
+namespace edacloud::sched {
+
+struct ShardedSimConfig {
+  /// Base simulation parameters (load, fleet, autoscaler, faults, seed).
+  SimConfig base;
+  /// Logical processes; clamped to [1, ShardTopology::kPoolCount].
+  int shards = 1;
+  /// Simulated seconds a job spends in transit between stages (result
+  /// upload + scheduler round trip). Must be > 0: it is the lookahead the
+  /// conservative windows run on.
+  double handoff_latency_seconds = 1.0;
+  /// Synchronization window width; 0 = handoff_latency_seconds (the
+  /// largest safe value). Values above the handoff latency break the
+  /// conservative guarantee — the barrier detects that and throws.
+  double lookahead_seconds = 0.0;
+  /// Worker threads for window execution (0 = the global default).
+  int threads = 0;
+  /// Emit per-shard window spans on dedicated trace lanes. Off by default:
+  /// the lanes depend on the shard count, so runs that must be
+  /// byte-comparable across shard counts leave this off.
+  bool shard_window_spans = false;
+};
+
+/// Per-shard execution accounting (events_processed is also the bench's
+/// events/sec numerator when summed over shards).
+struct ShardStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t handoffs_out = 0;  // messages this shard's pools sent
+  std::uint64_t handoffs_in = 0;   // messages delivered to this shard
+  int pools_owned = 0;
+};
+
+class ShardedFleetSimulator {
+ public:
+  /// `policy_name` is the make_policy() name ("fifo" | "cost" | "edf");
+  /// each shard (and each admission-planning worker slot) gets its own
+  /// instance, configured identically. EDF note: backfill degrades to
+  /// pool-local EDF under sharding — a pool's queue only ever holds tasks
+  /// routed to it, so there is no cross-pool queue to backfill from.
+  ShardedFleetSimulator(ShardedSimConfig config,
+                        std::vector<JobTemplate> templates,
+                        std::string policy_name);
+  ~ShardedFleetSimulator();  // out of line: PoolRuntime/Shard are private
+
+  /// Run to completion and return the merged metrics. Single-shot.
+  FleetMetrics run();
+
+  [[nodiscard]] const std::vector<ShardStats>& shard_stats() const {
+    return shard_stats_;
+  }
+  [[nodiscard]] std::uint64_t total_events() const;
+  /// Synchronization windows executed (== barriers).
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+  /// Export fleet_shard.* counters/gauges per shard plus the window count
+  /// (labels get a "shard" key). Shard-count-dependent by construction, so
+  /// callers that need cross-shard-count byte-identity skip this.
+  void export_shard_stats(obs::Registry& registry,
+                          const obs::Labels& labels = {}) const;
+
+ private:
+  struct PoolRuntime;
+  struct Shard;
+
+  void admit_jobs(double window_end);
+  void execute_window(double window_end);
+  void deliver_handoffs();
+  void run_shard(Shard& shard, double window_end);
+
+  void handle_deliver(PoolRuntime& pool, const ShardEvent& event);
+  void handle_boot(PoolRuntime& pool, const ShardEvent& event);
+  void handle_task_complete(Shard& shard, PoolRuntime& pool,
+                            const ShardEvent& event);
+  void handle_attempt_killed(PoolRuntime& pool, const ShardEvent& event,
+                             bool spot_reclaim);
+  void handle_task_retry(PoolRuntime& pool, const ShardEvent& event);
+  void handle_pool_tick(PoolRuntime& pool, const ShardEvent& event);
+
+  void enqueue_stage(PoolRuntime& pool, std::uint64_t job_id, double now);
+  void dispatch(PoolRuntime& pool, double now);
+  void start_task(PoolRuntime& pool, int vm_id, const TaskRef& task,
+                  double now);
+  void arm_tick(PoolRuntime& pool, double now);
+  void note_queue_depth(PoolRuntime& pool, double now);
+  void trace_attempt(PoolRuntime& pool, const Job& job, const VmInstance& vm,
+                     int vm_id, double now, bool killed);
+
+  [[nodiscard]] Shard& shard_of(const PoolRuntime& pool);
+  [[nodiscard]] double service_seconds(const Job& job,
+                                       const VmInstance& vm) const;
+
+  ShardedSimConfig config_;
+  std::vector<JobTemplate> templates_;
+  ShardTopology topology_;
+  double lookahead_ = 0.0;
+
+  std::vector<std::unique_ptr<PoolRuntime>> pools_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SchedulerPolicy>> plan_policies_;  // per slot
+  LoadGenerator generator_;
+  BackoffSchedule backoff_;
+  MetricsCollector admission_metrics_;  // jobs_submitted lives here
+
+  bool arrivals_open_ = true;
+  double next_arrival_ = 0.0;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t windows_ = 0;
+  std::vector<ShardStats> shard_stats_;
+  bool tracing_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace edacloud::sched

@@ -24,29 +24,52 @@
 
 namespace edacloud::sched {
 
+/// Full parameterization of one simulated run. A (SimConfig, seed) pair —
+/// the seed lives inside — determines every event, metric and trace byte;
+/// this is also the `base` the sharded engine (sharded_simulator.hpp)
+/// builds on.
 struct SimConfig {
   /// Arrivals stop after this much sim time; in-flight jobs then drain.
   double duration_seconds = 4 * 3600.0;
   /// Hard stop for the drain phase (0 = drain until every job finishes).
   double drain_limit_seconds = 0.0;
+  /// Master seed. Every RNG stream (arrivals, spot assignment, reclaim /
+  /// crash / boot hazards, backoff jitter) derives from it via salted
+  /// splitmix64, so streams never alias each other.
   std::uint64_t seed = 1;
   LoadConfig load;
   FleetConfig fleet;
   AutoscalerConfig autoscaler;
   FaultConfig fault;
-  /// Pools pre-provisioned (already booted) at t = 0.
+  /// Pools pre-provisioned (already booted, idle) at t = 0.
   std::vector<std::pair<PoolKey, int>> warm_pools;
 };
 
+/// The sequential discrete-event engine: one event queue, one clock, one
+/// policy instance. Use ShardedFleetSimulator for very large fleets or
+/// when window-parallel execution is wanted; results of the two engines
+/// are each internally deterministic but are NOT byte-comparable to each
+/// other (the sharded engine models an explicit stage-handoff latency).
 class FleetSimulator {
  public:
+  /// `templates` are the flow classes jobs are drawn from (see
+  /// builtin_templates()); `policy` must be non-null — the simulator
+  /// announces the fleet/fault context to it before the run.
+  /// Throws std::invalid_argument on a null policy or a non-positive
+  /// retry budget.
   FleetSimulator(SimConfig config, std::vector<JobTemplate> templates,
                  std::unique_ptr<SchedulerPolicy> policy);
 
-  /// Run to completion and return the metrics. Single-shot.
+  /// Run to completion (arrival window + drain) and return the finalized
+  /// metrics. Single-shot: a second call throws std::logic_error. If the
+  /// global tracer is enabled in kVirtual mode, the virtual clock is
+  /// advanced with simulated time and task attempts / queue depths are
+  /// emitted as spans and counters.
   FleetMetrics run();
 
+  /// The fleet after (or during) the run — machine states, billing totals.
   [[nodiscard]] const Fleet& fleet() const { return fleet_; }
+  /// The routing/dispatch policy the run used.
   [[nodiscard]] const SchedulerPolicy& policy() const { return *policy_; }
 
  private:
