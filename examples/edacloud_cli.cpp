@@ -17,6 +17,11 @@
 //   edacloud_cli predict <family> <size> [--job NAME] [--batch N]
 //                        [--cache N] [--threads N] [--repeat N]
 //                        [--train-designs N] [--train-epochs N] [--verify]
+//   edacloud_cli tune    [<family> <size>] [--designs fam:size[,...]]
+//                        [--deadline S] [--budget USD] [--samples N]
+//                        [--seed N] [--threads N] [--batch N] [--cache N]
+//                        [--train-designs N] [--train-epochs N] [--spot]
+//                        [--export F] [--trace F] [--metrics F]
 //   edacloud_cli serve   [--port N] [--threads N] [--seed N] [--max-conns N]
 //                        [--max-queue N] [--deadline-ms MS]
 //                        [--train-designs N] [--train-epochs N]
@@ -92,6 +97,14 @@ void print_usage(std::FILE* out) {
                "                       [--batch N] [--cache N] [--threads N]\n"
                "                       [--repeat N] [--train-designs N]\n"
                "                       [--train-epochs N] [--verify]\n"
+               "  edacloud_cli tune    [<family> <size>]\n"
+               "                       [--designs fam:size[,fam:size...]]\n"
+               "                       [--deadline S] [--budget USD]\n"
+               "                       [--samples N] [--seed N]\n"
+               "                       [--threads N] [--batch N] [--cache N]\n"
+               "                       [--train-designs N] [--train-epochs N]\n"
+               "                       [--spot] [--export F] [--trace F]\n"
+               "                       [--metrics F]\n"
                "  edacloud_cli serve   [--port N] [--threads N] [--seed N]\n"
                "                       [--max-conns N] [--max-queue N]\n"
                "                       [--deadline-ms MS] [--train-designs N]\n"
@@ -809,6 +822,267 @@ int cmd_predict(const std::vector<std::string>& args) {
   return 0;
 }
 
+// tune: joint flow + deployment optimization (tune::RecipeTuner). Trains a
+// small predictor the same way cmd_predict does, evaluates the recipe
+// space per design (real synthesis QoR, cache-fronted batched runtime
+// prediction), and reports the joint (recipe x VM-config) optimum against
+// the fixed-default-recipe baseline. --export writes the canonical
+// TuneResult dump — byte-identical at any --threads / --batch value for a
+// fixed seed, which the check.sh tune smoke leg diffs.
+int cmd_tune(const std::vector<std::string>& args) {
+  // Designs: positional <family> <size> and/or --designs fam:size[,...].
+  std::vector<std::pair<std::string, int>> designs;
+  if (!args.empty() && args[0].rfind("--", 0) != 0) {
+    if (args.size() < 2 || args[1].rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: tune wants <family> <size>\n");
+      return 2;
+    }
+    const int size = std::atoi(args[1].c_str());
+    if (size < 1) {
+      std::fprintf(stderr, "error: tune wants a positive <size>\n");
+      return 2;
+    }
+    designs.emplace_back(args[0], size);
+  }
+  const std::string designs_flag = flag_value(args, "--designs");
+  if (!designs_flag.empty()) {
+    std::vector<std::string> items;
+    std::string current;
+    for (const char c : designs_flag) {
+      if (c == ',') {
+        items.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    items.push_back(current);
+    for (const std::string& item : items) {
+      const std::size_t colon = item.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= item.size()) {
+        std::fprintf(stderr,
+                     "error: --designs wants family:size[,family:size...], "
+                     "got '%s'\n",
+                     item.c_str());
+        return 2;
+      }
+      const int size = std::atoi(item.substr(colon + 1).c_str());
+      if (size < 1) {
+        std::fprintf(stderr, "error: --designs size must be positive in "
+                     "'%s'\n", item.c_str());
+        return 2;
+      }
+      designs.emplace_back(item.substr(0, colon), size);
+    }
+  }
+  if (designs.empty()) {
+    std::fprintf(stderr,
+                 "error: tune wants <family> <size> or --designs\n");
+    return 2;
+  }
+  for (const auto& [family, size] : designs) {
+    bool known = false;
+    for (const auto& info : workloads::families()) {
+      if (info.name == family) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown family '%s'\n", family.c_str());
+      return 2;
+    }
+  }
+
+  double deadline_s = 2000.0;
+  const std::string deadline_flag = flag_value(args, "--deadline");
+  if (!deadline_flag.empty()) {
+    deadline_s = std::atof(deadline_flag.c_str());
+    if (deadline_s <= 0.0) {
+      std::fprintf(stderr, "error: --deadline wants a positive number of "
+                   "seconds\n");
+      return 2;
+    }
+  }
+  double budget_usd = 0.0;
+  const std::string budget_flag = flag_value(args, "--budget");
+  if (!budget_flag.empty()) {
+    budget_usd = std::atof(budget_flag.c_str());
+    if (budget_usd <= 0.0) {
+      std::fprintf(stderr, "error: --budget wants a positive dollar "
+                   "amount\n");
+      return 2;
+    }
+  }
+  long long samples = 16;
+  const std::string samples_flag = flag_value(args, "--samples");
+  if (!samples_flag.empty()) {
+    samples = std::atoll(samples_flag.c_str());
+    if (samples < 0 || samples > 512) {
+      std::fprintf(stderr, "error: --samples wants an integer in "
+                   "[0, 512]\n");
+      return 2;
+    }
+  }
+  long long seed = 1;
+  const std::string seed_flag = flag_value(args, "--seed");
+  if (!seed_flag.empty()) {
+    seed = std::atoll(seed_flag.c_str());
+    if (seed < 0) {
+      std::fprintf(stderr, "error: --seed wants a non-negative integer\n");
+      return 2;
+    }
+  }
+  long long batch = 64;
+  const std::string batch_flag = flag_value(args, "--batch");
+  if (!batch_flag.empty()) {
+    batch = std::atoll(batch_flag.c_str());
+    if (batch < 1 || batch > 4096) {
+      std::fprintf(stderr, "error: --batch wants an integer in "
+                   "[1, 4096]\n");
+      return 2;
+    }
+  }
+  long long cache_capacity = 4096;
+  const std::string cache_flag = flag_value(args, "--cache");
+  if (!cache_flag.empty()) {
+    cache_capacity = std::atoll(cache_flag.c_str());
+    if (cache_capacity < 0) {
+      std::fprintf(stderr, "error: --cache wants a non-negative "
+                   "capacity\n");
+      return 2;
+    }
+  }
+  const std::string threads_flag = flag_value(args, "--threads");
+  if (!threads_flag.empty()) {
+    const int n = std::atoi(threads_flag.c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "error: --threads wants a positive integer\n");
+      return 2;
+    }
+    // Byte-identical results at any width (the tuner's hard contract).
+    util::set_global_thread_count(n);
+  }
+  std::size_t train_designs = 4;
+  const std::string train_designs_flag = flag_value(args, "--train-designs");
+  if (!train_designs_flag.empty()) {
+    const long long n = std::atoll(train_designs_flag.c_str());
+    if (n < 1) {
+      std::fprintf(stderr,
+                   "error: --train-designs wants a positive integer\n");
+      return 2;
+    }
+    train_designs = static_cast<std::size_t>(n);
+  }
+  int train_epochs = 6;
+  const std::string train_epochs_flag = flag_value(args, "--train-epochs");
+  if (!train_epochs_flag.empty()) {
+    train_epochs = std::atoi(train_epochs_flag.c_str());
+    if (train_epochs < 1) {
+      std::fprintf(stderr, "error: --train-epochs wants a positive "
+                   "integer\n");
+      return 2;
+    }
+  }
+  const bool spot = has_flag(args, "--spot");
+  const std::string export_path = flag_value(args, "--export");
+  const std::string trace_path = flag_value(args, "--trace");
+  const std::string metrics_path = flag_value(args, "--metrics");
+  if (!trace_path.empty()) {
+    obs::Tracer::global().enable(obs::ClockMode::kWall);
+  }
+
+  // Train exactly the way cmd_predict / svc::Service::initialize do.
+  const nl::CellLibrary library = nl::make_generic_14nm_library();
+  std::vector<workloads::BenchmarkSpec> specs;
+  for (const auto& info : workloads::families()) {
+    if (specs.size() >= train_designs) break;
+    workloads::BenchmarkSpec spec;
+    spec.family = info.name;
+    spec.size = info.corpus_sizes.empty() ? 32 : info.corpus_sizes.front();
+    spec.seed = 7;
+    specs.push_back(spec);
+  }
+  core::DatasetOptions dataset_options;
+  dataset_options.max_recipes = 1;
+  dataset_options.max_netlists = specs.size();
+  const core::Dataset dataset =
+      core::DatasetBuilder(library, dataset_options).build(specs);
+  core::PredictorOptions predictor_options;
+  predictor_options.gcn = ml::GcnConfig::fast();
+  predictor_options.gcn.epochs = train_epochs;
+  core::RuntimePredictor predictor(predictor_options);
+  (void)predictor.train(dataset);
+
+  tune::TunerOptions tuner_options;
+  tuner_options.space.random_samples = static_cast<std::size_t>(samples);
+  tuner_options.space.seed = static_cast<std::uint64_t>(seed);
+  tuner_options.batch_size = static_cast<std::size_t>(batch);
+  tuner_options.cache_capacity = static_cast<std::size_t>(cache_capacity);
+  tuner_options.spot = spot;
+  tune::RecipeTuner tuner(library, predictor, tuner_options);
+
+  std::string export_blob = "edacloud-tune-cli v1\n";
+  export_blob += "designs " + std::to_string(designs.size()) + "\n";
+  export_blob += "samples " + std::to_string(samples) + " seed " +
+                 std::to_string(seed) + "\n";
+  util::Table table({"Design", "Recipes", "Fixed $", "Joint $",
+                     "Joint@QoR $", "Savings $", "Best recipe"});
+  for (const auto& [family, size] : designs) {
+    const nl::Aig aig = generate_or_die(family, size);
+    const tune::TuneResult result = tuner.tune(aig, deadline_s, budget_usd);
+    table.add_row(
+        {family + ":" + std::to_string(size),
+         std::to_string(result.evaluations.size()),
+         result.fixed.plan.feasible
+             ? util::format_fixed(result.fixed.plan.total_cost_usd, 4)
+             : "NA",
+         result.joint.plan.feasible
+             ? util::format_fixed(result.joint.plan.total_cost_usd, 4)
+             : "NA",
+         result.joint_at_qor.plan.feasible
+             ? util::format_fixed(result.joint_at_qor.plan.total_cost_usd, 4)
+             : "NA",
+         util::format_fixed(result.savings_vs_fixed_usd(), 4),
+         result.joint_at_qor.recipe_key.empty()
+             ? "-"
+             : result.joint_at_qor.recipe_key});
+    export_blob += result.export_text();
+    if (budget_usd > 0.0) {
+      std::printf("%s:%d budget $%.4f -> %s (%.1f s, recipe %s)\n",
+                  family.c_str(), size, budget_usd,
+                  result.budget_feasible ? "feasible" : "infeasible",
+                  result.budget_fastest_seconds,
+                  result.budget_recipe_key.empty()
+                      ? "-"
+                      : result.budget_recipe_key.c_str());
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  if (tuner.cache() != nullptr) {
+    const auto stats = tuner.cache()->stats();
+    std::printf("cache: %llu hits, %llu misses, %llu insertions, "
+                "%llu evictions (capacity %lld)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.insertions),
+                static_cast<unsigned long long>(stats.evictions),
+                cache_capacity);
+  }
+  if (!export_path.empty() && !write_file(export_path, export_blob)) {
+    return 1;
+  }
+  if (!trace_path.empty()) {
+    obs::Tracer::global().disable();
+    if (obs::Tracer::global().write_json(trace_path)) {
+      std::printf("wrote %s\n", trace_path.c_str());
+    }
+  }
+  if (!metrics_path.empty() &&
+      obs::Registry::global().write(metrics_path)) {
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  return 0;
+}
+
 // serve installs signal handlers so `kill -TERM` drains in-flight work and
 // exits 0 (the contract scripts/check.sh asserts). request_stop() is
 // async-signal-safe by design.
@@ -1056,6 +1330,12 @@ int main(int argc, char** argv) {
        {{"--job", "--batch", "--cache", "--threads", "--repeat",
          "--train-designs", "--train-epochs"},
         {"--verify"}}},
+      {"tune",
+       cmd_tune,
+       {{"--designs", "--deadline", "--budget", "--samples", "--seed",
+         "--threads", "--batch", "--cache", "--train-designs",
+         "--train-epochs", "--export", "--trace", "--metrics"},
+        {"--spot"}}},
       {"serve",
        cmd_serve,
        {{"--port", "--threads", "--seed", "--max-conns", "--max-queue",

@@ -236,6 +236,51 @@ batch_smoke() {
 
 batch_smoke
 
+# Recipe-tuner smoke-run: the determinism contract from the CLI side — the
+# same seed must export byte-identical TuneResults at thread counts 1 vs 8
+# and predict batch sizes 3 vs 64 — plus strict flag validation
+# (docs/TUNING.md, DESIGN.md §14).
+tune_smoke() {
+  local cli="build/examples/edacloud_cli"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  echo "=== tune smoke: same-seed byte-identity across threads and batch ==="
+  local tune_flags=(adder 16 --deadline 60 --samples 4 --seed 5
+    --train-designs 2 --train-epochs 2)
+  "${cli}" tune "${tune_flags[@]}" --threads 1 --batch 3 \
+    --export "${tmp}/tune_t1.txt" > /dev/null
+  "${cli}" tune "${tune_flags[@]}" --threads 8 --batch 64 \
+    --export "${tmp}/tune_t8.txt" > /dev/null
+  cmp "${tmp}/tune_t1.txt" "${tmp}/tune_t8.txt"
+  grep -q '^edacloud-tune-export v1$' "${tmp}/tune_t1.txt" || {
+    echo "tune smoke: export missing version header" >&2
+    return 1
+  }
+
+  echo "=== tune smoke: flag validation ==="
+  "${cli}" tune adder 16 --no-such-flag 1 > /dev/null 2>&1 && {
+    echo "tune smoke: unknown tune flag exited 0" >&2
+    return 1
+  }
+  "${cli}" tune adder 16 --samples 9999 > /dev/null 2>&1 && {
+    echo "tune smoke: out-of-range --samples exited 0" >&2
+    return 1
+  }
+  "${cli}" tune --designs "badformat" > /dev/null 2>&1 && {
+    echo "tune smoke: malformed --designs exited 0" >&2
+    return 1
+  }
+  "${cli}" tune no-such-family 16 > /dev/null 2>&1 && {
+    echo "tune smoke: unknown family exited 0" >&2
+    return 1
+  }
+  "${cli}" tune --help > /dev/null || return 1
+}
+
+tune_smoke
+
 # Sharded-simulator smoke-run: the determinism contract from the CLI side —
 # the same seed at 1 and 8 shards (and across thread counts) must export
 # byte-identical metrics — plus a docs acceptance check: every fleet-sim
@@ -313,7 +358,16 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j
   echo "=== tsan: ctest (concurrency suites) ==="
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|MlBatchTest|SchedShardTest')
+    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|SvcFuzzTest|MlBatchTest|SchedShardTest|TuneTest|RecipeSpaceTest')
 fi
+
+# Per-suite inventory: what tier-1 actually ran, so a vanishing suite (a
+# discovery regression, a commented-out registration) is loud, not silent.
+echo "=== test inventory (per suite) ==="
+(cd build && ctest -N |
+  sed -n 's/^ *Test *#[0-9]*: *\([A-Za-z0-9_]*\)\..*/\1/p' |
+  sort | uniq -c | sort -rn | awk '{printf "  %-32s %s\n", $2, $1}')
+total_tests="$(cd build && ctest -N | sed -n 's/^Total Tests: *//p')"
+echo "  total: ${total_tests} tests"
 
 echo "=== all passes green ==="

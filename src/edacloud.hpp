@@ -23,5 +23,6 @@
 #include "sched/simulator.hpp"
 #include "svc/loadgen.hpp"
 #include "svc/server.hpp"
+#include "tune/tuner.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/registry.hpp"

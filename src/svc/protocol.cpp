@@ -1,6 +1,7 @@
 #include "svc/protocol.hpp"
 
 #include <cmath>
+#include <initializer_list>
 
 #include "workloads/registry.hpp"
 
@@ -23,6 +24,46 @@ bool require_size(const JsonValue& value, ParsedRequest& out) {
     return false;
   }
   out.request.size = static_cast<int>(size);
+  return true;
+}
+
+/// Strict member-set validation: any field outside `allowed` (plus the
+/// common type/id/deadline_ms trio) fails the parse with a stable
+/// bad_request message naming the offender. Catches client typos that
+/// would otherwise be silently ignored (the svc_test satellite gap).
+bool reject_unknown_fields(const JsonValue& value,
+                           std::initializer_list<const char*> allowed,
+                           ParsedRequest& out) {
+  for (const auto& [key, member] : value.members()) {
+    if (key == "type" || key == "id" || key == "deadline_ms") continue;
+    bool known = false;
+    for (const char* name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      out.error = "unknown field '" + key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Pull an integer member in [lo, hi] into *slot (keeping its default when
+/// absent); false (with message) on bad shape or range.
+bool optional_int_in(const JsonValue& value, const char* name, double lo,
+                     double hi, int* slot, ParsedRequest& out) {
+  if (value.find(name) == nullptr) return true;
+  const double raw = value.number_or(name, lo - 1.0);
+  if (raw < lo || raw > hi || raw != std::floor(raw)) {
+    out.error = "field '" + std::string(name) + "' must be an integer in [" +
+                std::to_string(static_cast<long long>(lo)) + ", " +
+                std::to_string(static_cast<long long>(hi)) + "]";
+    return false;
+  }
+  *slot = static_cast<int>(raw);
   return true;
 }
 
@@ -53,6 +94,8 @@ const char* to_string(RequestType type) {
       return "run-stage";
     case RequestType::kEcho:
       return "echo";
+    case RequestType::kTune:
+      return "tune";
   }
   return "?";
 }
@@ -92,9 +135,13 @@ ParsedRequest parse_request(const JsonValue& value) {
   const std::string type = value.string_or("type", "");
   if (type == "characterize") {
     out.request.type = RequestType::kCharacterize;
+    if (!reject_unknown_fields(value, {"family", "size"}, out)) return out;
     if (!require_design(value, out)) return out;
   } else if (type == "predict") {
     out.request.type = RequestType::kPredict;
+    if (!reject_unknown_fields(value, {"family", "size", "job"}, out)) {
+      return out;
+    }
     if (!require_design(value, out)) return out;
     const std::string job = value.string_or("job", "");
     if (!job_from_name(job, &out.request.job)) {
@@ -103,6 +150,10 @@ ParsedRequest parse_request(const JsonValue& value) {
     }
   } else if (type == "optimize") {
     out.request.type = RequestType::kOptimize;
+    if (!reject_unknown_fields(value, {"family", "size", "deadline_s", "spot"},
+                               out)) {
+      return out;
+    }
     if (!require_design(value, out)) return out;
     out.request.deadline_seconds = value.number_or("deadline_s", 0.0);
     if (out.request.deadline_seconds <= 0.0) {
@@ -112,14 +163,52 @@ ParsedRequest parse_request(const JsonValue& value) {
     out.request.spot = value.bool_or("spot", false);
   } else if (type == "run-stage") {
     out.request.type = RequestType::kRunStage;
+    if (!reject_unknown_fields(value, {"family", "size", "stage"}, out)) {
+      return out;
+    }
     if (!require_design(value, out)) return out;
     const std::string stage = value.string_or("stage", "");
     if (!job_from_name(stage, &out.request.stage)) {
       out.error = "field 'stage' must be synth|place|route|sta";
       return out;
     }
+  } else if (type == "tune") {
+    out.request.type = RequestType::kTune;
+    if (!reject_unknown_fields(
+            value,
+            {"family", "size", "deadline_s", "spot", "samples", "seed",
+             "batch"},
+            out)) {
+      return out;
+    }
+    if (!require_design(value, out)) return out;
+    out.request.deadline_seconds = value.number_or("deadline_s", 0.0);
+    if (out.request.deadline_seconds <= 0.0) {
+      out.error = "field 'deadline_s' must be > 0";
+      return out;
+    }
+    out.request.spot = value.bool_or("spot", false);
+    if (!optional_int_in(value, "samples", 0.0, 512.0, &out.request.samples,
+                         out)) {
+      return out;
+    }
+    if (!optional_int_in(value, "batch", 1.0, 4096.0, &out.request.batch,
+                         out)) {
+      return out;
+    }
+    if (value.find("seed") != nullptr) {
+      const double seed = value.number_or("seed", -1.0);
+      if (seed < 0.0 || seed != std::floor(seed) || seed > 1e15) {
+        out.error = "field 'seed' must be a non-negative integer";
+        return out;
+      }
+      out.request.tune_seed = static_cast<std::uint64_t>(seed);
+    }
   } else if (type == "echo") {
     out.request.type = RequestType::kEcho;
+    if (!reject_unknown_fields(value, {"payload", "sleep_ms"}, out)) {
+      return out;
+    }
     out.request.payload = value.string_or("payload", "");
     const double sleep_ms = value.number_or("sleep_ms", 0.0);
     if (sleep_ms < 0.0 || sleep_ms > 60000.0) {

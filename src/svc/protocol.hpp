@@ -4,9 +4,11 @@
 //
 //   {"type":"predict","id":7,"family":"adder","size":64,"job":"routing"}
 //
-// with four real request types (characterize / predict / optimize /
-// run-stage) dispatched onto the core APIs, plus "echo" as a diagnostic
-// (optional server-side sleep — the overload and deadline tests use it).
+// with five real request types (characterize / predict / optimize /
+// run-stage / tune) dispatched onto the core APIs, plus "echo" as a
+// diagnostic (optional server-side sleep — the overload and deadline
+// tests use it). Unknown member fields are rejected with `bad_request`
+// (typo'd fields must never be silently ignored).
 // Responses echo the id: {"id":7,"ok":true,"type":...,"payload":{...}} or
 // {"id":7,"ok":false,"error":"<code>","message":"..."} with the stable
 // error codes below.
@@ -25,7 +27,11 @@ enum class RequestType : int {
   kOptimize,
   kRunStage,
   kEcho,
+  kTune,
 };
+
+/// Number of request types (sizes the per-type stats arrays).
+inline constexpr int kRequestTypeCount = 6;
 
 [[nodiscard]] const char* to_string(RequestType type);
 
@@ -52,6 +58,12 @@ struct Request {
   // echo diagnostics.
   std::string payload;
   int sleep_ms = 0;
+  // tune: seeded random recipe draws beyond the grid, the tuner's RNG
+  // seed, and the predict chunk size (results are byte-identical at any
+  // batch value; the field only shapes throughput).
+  int samples = 16;
+  std::uint64_t tune_seed = 1;
+  int batch = 64;
   // Per-request deadline budget in milliseconds (0 = none). Enforced at
   // dispatch: a request still queued past its deadline is answered with
   // `deadline_exceeded` instead of being executed.

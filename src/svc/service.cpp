@@ -10,6 +10,7 @@
 #include "nl/star_graph.hpp"
 #include "obs/trace.hpp"
 #include "synth/engine.hpp"
+#include "tune/tuner.hpp"
 #include "util/log.hpp"
 #include "workloads/registry.hpp"
 
@@ -28,7 +29,7 @@ JsonValue runtime_array(const std::array<double, 4>& runtimes) {
 void ServiceStats::export_to(obs::Registry& registry) const {
   registry.counter("svc.requests").add(requests.load());
   registry.counter("svc.errors").add(errors.load());
-  for (int t = 0; t < 5; ++t) {
+  for (int t = 0; t < kRequestTypeCount; ++t) {
     registry
         .counter("svc.requests_by_type",
                  {{"type", to_string(static_cast<RequestType>(t))}})
@@ -112,6 +113,9 @@ std::string Service::handle(const Request& request) {
         break;
       case RequestType::kEcho:
         payload = do_echo(request);
+        break;
+      case RequestType::kTune:
+        payload = do_tune(request);
         break;
     }
     response.set("payload", std::move(payload));
@@ -391,6 +395,75 @@ JsonValue Service::do_run_stage(const Request& request) {
     qor.set(item.name, JsonValue::of(item.value));
   }
   payload.set("qor", std::move(qor));
+  return payload;
+}
+
+JsonValue Service::do_tune(const Request& request) {
+  if (!trained_) {
+    throw std::runtime_error("predictor not trained (initialize() skipped)");
+  }
+  const nl::Aig design = make_design(request);
+  tune::TunerOptions options;
+  options.space.random_samples = static_cast<std::size_t>(request.samples);
+  options.space.seed = request.tune_seed;
+  options.batch_size = static_cast<std::size_t>(request.batch);
+  options.spot = request.spot;
+  // The shared prediction cache fronts the tuner's recipe-variant predict
+  // stream; tune answers depend only on the request (cache entries hold
+  // exactly what the miss path computes), so responses stay byte-identical
+  // at any worker count / request interleaving. Cache hit counters are
+  // interleaving-dependent and therefore deliberately NOT in the payload.
+  tune::RecipeTuner tuner(library_, predictor_, options,
+                          predict_cache_.get());
+  const tune::TuneResult result =
+      tuner.tune(design, request.deadline_seconds);
+
+  const auto plan_json = [](const tune::JointPlan& plan) {
+    JsonValue p = JsonValue::object();
+    p.set("recipe", JsonValue::of(plan.recipe_key));
+    p.set("feasible", JsonValue::of(plan.plan.feasible));
+    p.set("runtime_s", JsonValue::of(plan.plan.total_runtime_seconds));
+    p.set("cost_usd", JsonValue::of(plan.plan.total_cost_usd));
+    p.set("area_um2", JsonValue::of(plan.area_um2));
+    JsonValue entries = JsonValue::array();
+    for (const auto& entry : plan.plan.entries) {
+      JsonValue e = JsonValue::object();
+      e.set("job", JsonValue::of(core::job_name(entry.job)));
+      e.set("vcpus", JsonValue::of(entry.vcpus));
+      e.set("tier", JsonValue::of(entry.spot ? "spot" : "on-demand"));
+      e.set("runtime_s", JsonValue::of(entry.runtime_seconds));
+      e.set("cost_usd", JsonValue::of(entry.cost_usd));
+      entries.push_back(std::move(e));
+    }
+    p.set("entries", std::move(entries));
+    return p;
+  };
+
+  JsonValue payload = JsonValue::object();
+  payload.set("family", JsonValue::of(request.family));
+  payload.set("size", JsonValue::of(request.size));
+  payload.set("deadline_s", JsonValue::of(request.deadline_seconds));
+  payload.set("recipes_evaluated",
+              JsonValue::of(static_cast<double>(result.evaluations.size())));
+  payload.set("fixed", plan_json(result.fixed));
+  payload.set("joint", plan_json(result.joint));
+  payload.set("joint_at_qor", plan_json(result.joint_at_qor));
+  payload.set("savings_vs_fixed_usd",
+              JsonValue::of(result.savings_vs_fixed_usd()));
+  JsonValue frontier = JsonValue::array();
+  const std::size_t cap = std::min<std::size_t>(result.frontier.size(), 32);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const tune::ParetoEntry& point = result.frontier[i];
+    JsonValue entry = JsonValue::object();
+    entry.set("deadline_s", JsonValue::of(point.deadline_seconds));
+    entry.set("cost_usd", JsonValue::of(point.cost_usd));
+    entry.set("area_um2", JsonValue::of(point.area_um2));
+    entry.set("recipe", JsonValue::of(point.recipe_key));
+    frontier.push_back(std::move(entry));
+  }
+  payload.set("frontier_size",
+              JsonValue::of(static_cast<double>(result.frontier.size())));
+  payload.set("frontier", std::move(frontier));
   return payload;
 }
 

@@ -8,6 +8,7 @@
 //   predict      -> core::RuntimePredictor     (GCN runtime ladder)
 //   optimize     -> core::DeploymentOptimizer  (MCKP deployment plan)
 //   run-stage    -> core::make_flow_engines    (StageEngine contract)
+//   tune         -> tune::RecipeTuner          (joint recipe x VM plan)
 //
 // handle() is thread-safe: predict/optimize/run-stage execute fully in
 // parallel (engines run serially per request, requests spread across the
@@ -59,7 +60,7 @@ struct ServiceConfig {
 struct ServiceStats {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> errors{0};
-  std::atomic<std::uint64_t> by_type[5] = {};
+  std::atomic<std::uint64_t> by_type[kRequestTypeCount] = {};
 
   void export_to(obs::Registry& registry) const;
 };
@@ -110,6 +111,7 @@ class Service {
   JsonValue do_optimize(const Request& request);
   JsonValue do_run_stage(const Request& request);
   JsonValue do_echo(const Request& request);
+  JsonValue do_tune(const Request& request);
 
   [[nodiscard]] nl::Aig make_design(const Request& request) const;
   /// Feature graph for `job` on the request's design, via the per-design

@@ -1,0 +1,77 @@
+#include "tune/recipe_space.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace edacloud::tune {
+
+std::string recipe_key(const synth::SynthRecipe& recipe) {
+  std::string key = "rw" + std::to_string(recipe.rewrite_passes);
+  key += recipe.balance ? "-bal" : "-nobal";
+  key += recipe.mode == synth::MapMode::kArea ? "-area" : "-delay";
+  key += recipe.fuse ? "-fuse" : "-nofuse";
+  return key;
+}
+
+std::uint64_t recipe_key_hash(const synth::SynthRecipe& recipe) {
+  const std::string key = recipe_key(recipe);
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::vector<synth::SynthRecipe> enumerate_recipes(const RecipeSpace& space) {
+  std::vector<synth::SynthRecipe> recipes;
+  std::set<std::string> seen;
+  const auto emit = [&](int rewrite, bool balance, synth::MapMode mode,
+                        bool fuse) {
+    synth::SynthRecipe recipe;
+    recipe.rewrite_passes = rewrite;
+    recipe.balance = balance;
+    recipe.mode = mode;
+    recipe.fuse = fuse;
+    recipe.name = recipe_key(recipe);
+    if (!seen.insert(recipe.name).second) return false;
+    recipes.push_back(std::move(recipe));
+    return true;
+  };
+
+  const int grid_max = std::max(0, space.grid_max_rewrite);
+  for (int rewrite = 0; rewrite <= grid_max; ++rewrite) {
+    for (const bool balance : {false, true}) {
+      for (const synth::MapMode mode :
+           {synth::MapMode::kArea, synth::MapMode::kDelay}) {
+        for (const bool fuse : {false, true}) {
+          emit(rewrite, balance, mode, fuse);
+        }
+      }
+    }
+  }
+
+  // Seeded extension draws. The attempt budget bounds generation when the
+  // requested sample count exceeds what the (finite) space still holds;
+  // the draw sequence is a pure function of the seed either way.
+  const int sample_max = std::max(grid_max, space.sample_max_rewrite);
+  util::Rng rng(space.seed);
+  std::size_t accepted = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = space.random_samples * 32 + 64;
+  while (accepted < space.random_samples && attempts < max_attempts) {
+    ++attempts;
+    const int rewrite =
+        static_cast<int>(rng.next_int(0, sample_max));
+    const bool balance = rng.next_bool(0.5);
+    const synth::MapMode mode =
+        rng.next_bool(0.5) ? synth::MapMode::kDelay : synth::MapMode::kArea;
+    const bool fuse = rng.next_bool(0.5);
+    if (emit(rewrite, balance, mode, fuse)) ++accepted;
+  }
+  return recipes;
+}
+
+}  // namespace edacloud::tune

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic recipe-space generation for the autotuner (ROADMAP item 4).
+// A recipe's identity is its semantic fields (rewrite passes, balance, map
+// mode, inverter fusion) — never its display name — captured by a canonical
+// key string that is injective over the field tuple. The generator sweeps a
+// dense grid over the small field ranges and optionally extends it with
+// seeded random draws from a wider pass-count range, deduplicating by
+// canonical key so the returned list never contains two logically equal
+// recipes. Same RecipeSpace -> same list, element for element, on every
+// platform (util::Rng streams, no unordered containers).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/recipe.hpp"
+
+namespace edacloud::tune {
+
+/// Canonical identity of a recipe's semantic fields, e.g.
+/// "rw2-bal-area-fuse" / "rw0-nobal-delay-nofuse". Injective: two recipes
+/// share a key iff every field matches; the name is ignored.
+[[nodiscard]] std::string recipe_key(const synth::SynthRecipe& recipe);
+
+/// 64-bit FNV-1a of recipe_key() — the hash the dedup set and the
+/// canonicalization tests use. Logically-equal recipes hash equal.
+[[nodiscard]] std::uint64_t recipe_key_hash(const synth::SynthRecipe& recipe);
+
+struct RecipeSpace {
+  /// Grid part: every combination of rewrite_passes in [0, grid_max_rewrite]
+  /// x balance x map mode x fuse, in canonical order.
+  int grid_max_rewrite = 2;
+  /// Random part: seeded draws with rewrite_passes in [0, sample_max_rewrite]
+  /// appended after the grid (duplicates of anything already emitted are
+  /// skipped; draw attempts are bounded so generation always terminates).
+  int sample_max_rewrite = 6;
+  std::size_t random_samples = 0;
+  std::uint64_t seed = 1;
+};
+
+/// The deduplicated recipe list for `space`, named by canonical key.
+/// Deterministic: same space -> byte-identical list.
+[[nodiscard]] std::vector<synth::SynthRecipe> enumerate_recipes(
+    const RecipeSpace& space);
+
+}  // namespace edacloud::tune

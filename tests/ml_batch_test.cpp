@@ -4,7 +4,10 @@
 // under TSan in scripts/check.sh (MlBatchTest in the tier-2 regex).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -265,6 +268,134 @@ TEST(MlBatchTest, CacheIsSafeUnderConcurrentAccess) {
   const auto stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses, 4u * 200u);
   EXPECT_LE(cache.size(), 16u);
+}
+
+TEST(MlBatchTest, OneUlpChangeInAnyFeatureSlotChangesTheKey) {
+  // Property sweep (ISSUE 9 satellite): nudging ANY single feature slot by
+  // one ulp must produce a key distinct from the base AND from every other
+  // single-slot nudge — the cache must never serve a stale prediction for
+  // an almost-identical graph. 12 vertices x 20 channels = 240 variants.
+  const GraphSample base = make_sample(12, 77);
+  std::vector<ContentKey> keys;
+  keys.push_back(content_key(base));
+  for (std::size_t v = 0; v < base.features.rows(); ++v) {
+    for (std::size_t c = 0; c < base.features.cols(); ++c) {
+      GraphSample nudged = make_sample(12, 77);
+      double& slot = nudged.features.at(v, c);
+      slot = std::nextafter(slot, std::numeric_limits<double>::infinity());
+      keys.push_back(content_key(nudged));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    ASSERT_FALSE(keys[i - 1] == keys[i])
+        << "collision between single-ulp variants at sorted index " << i;
+  }
+}
+
+/// Reference LRU: the obviously-correct O(n) model the real cache is
+/// checked against, move-to-front on hit and insert, evict from the back.
+class ModelLru {
+ public:
+  explicit ModelLru(std::size_t capacity) : capacity_(capacity) {}
+
+  bool lookup(const ContentKey& key) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i] == key) {
+        const ContentKey hit = entries_[i];
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        entries_.insert(entries_.begin(), hit);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insert(const ContentKey& key) {
+    if (capacity_ == 0) return;
+    if (lookup(key)) return;  // update moves to front, no growth
+    entries_.insert(entries_.begin(), key);
+    if (entries_.size() > capacity_) {
+      ++evictions_;
+      entries_.pop_back();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<ContentKey> entries_;  // front = most recently used
+  std::uint64_t evictions_ = 0;
+};
+
+TEST(MlBatchTest, RandomizedOpsAgreeWithReferenceLruModel) {
+  // Property test: 5000 random lookup/insert ops over a small key universe
+  // (forcing heavy eviction traffic) must agree with the reference model
+  // op for op — same hit/miss answer, same size, same eviction count at
+  // every step. Replaying the same seed reproduces the exact trace.
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    for (const std::size_t capacity : {1u, 3u, 8u}) {
+      PredictionCache cache(capacity);
+      ModelLru model(capacity);
+      util::Rng rng(seed);
+      for (int op = 0; op < 5000; ++op) {
+        const ContentKey key{rng.next_below(capacity * 4 + 2), 9};
+        if (rng.next_bool(0.5)) {
+          const bool model_hit = model.lookup(key);
+          const bool cache_hit = cache.lookup(key).has_value();
+          ASSERT_EQ(cache_hit, model_hit)
+              << "seed=" << seed << " capacity=" << capacity << " op=" << op;
+        } else {
+          model.insert(key);
+          cache.insert(key, make_value(static_cast<double>(key.lo)));
+        }
+        ASSERT_EQ(cache.size(), model.size());
+        ASSERT_LE(cache.size(), capacity);
+        ASSERT_EQ(cache.stats().evictions, model.evictions());
+      }
+    }
+  }
+}
+
+TEST(MlBatchTest, ConcurrentInterleavingsKeepCapacityAndStatsConsistent) {
+  // Under concurrent mutation the interleaving is not deterministic, but
+  // the invariants must hold at every observation: size never exceeds
+  // capacity, hits + misses equals the number of lookups issued, and
+  // insertions - evictions equals the resident count when the run ends.
+  for (const int workers : {2, 8}) {
+    PredictionCache cache(12);
+    const int kOpsPerWorker = 3000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < workers; ++t) {
+      threads.emplace_back([&cache, t] {
+        util::Rng rng(1000 + static_cast<std::uint64_t>(t));
+        for (int op = 0; op < kOpsPerWorker; ++op) {
+          const ContentKey key{rng.next_below(40), 3};
+          if (rng.next_bool(0.5)) {
+            (void)cache.lookup(key);
+          } else {
+            cache.insert(key, make_value(static_cast<double>(key.lo)));
+          }
+          EXPECT_LE(cache.size(), 12u);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const auto stats = cache.stats();
+    std::uint64_t lookups = 0;
+    for (int t = 0; t < workers; ++t) {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int op = 0; op < kOpsPerWorker; ++op) {
+        (void)rng.next_below(40);
+        if (rng.next_bool(0.5)) ++lookups;
+      }
+    }
+    EXPECT_EQ(stats.hits + stats.misses, lookups) << "workers=" << workers;
+    EXPECT_EQ(stats.insertions - stats.evictions, cache.size());
+    EXPECT_LE(cache.size(), 12u);
+  }
 }
 
 TEST(MlBatchTest, PredictorBatchReturnsZerosWhenUntrained) {

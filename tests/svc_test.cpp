@@ -178,6 +178,99 @@ TEST(SvcProtocolTest, RejectsBadRequestsWithSalvagedId) {
   }
 }
 
+TEST(SvcProtocolTest, RejectsUnknownMemberFields) {
+  // A typo'd field must never be silently ignored (ISSUE 9 satellite):
+  // each request type rejects members outside its schema with a stable
+  // bad_request code naming the offending key.
+  struct Case {
+    const char* text;
+    const char* field;
+  };
+  const Case cases[] = {
+      {"{\"id\":3,\"type\":\"predict\",\"family\":\"adder\",\"size\":8,"
+       "\"job\":\"sta\",\"frobnicate\":1}",
+       "frobnicate"},
+      {"{\"id\":3,\"type\":\"echo\",\"payload\":\"x\",\"famly\":\"adder\"}",
+       "famly"},  // typo of a real field elsewhere in the schema
+      {"{\"id\":3,\"type\":\"characterize\",\"family\":\"adder\",\"size\":8,"
+       "\"job\":\"sta\"}",
+       "job"},  // valid field, wrong request type
+      {"{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+       "\"deadline_s\":60,\"smaples\":4}",
+       "smaples"},
+  };
+  for (const Case& c : cases) {
+    const JsonParseResult json = parse_json(c.text);
+    ASSERT_TRUE(json.ok) << c.text;
+    const ParsedRequest parsed = parse_request(json.value);
+    EXPECT_FALSE(parsed.ok) << c.text;
+    EXPECT_STREQ(parsed.code, kErrBadRequest) << c.text;
+    EXPECT_NE(parsed.error.find(std::string("unknown field '") + c.field),
+              std::string::npos)
+        << c.text << " -> " << parsed.error;
+    EXPECT_EQ(parsed.request.id, 3u) << c.text;
+  }
+}
+
+TEST(SvcProtocolTest, ParsesValidTuneWithDefaults) {
+  const JsonParseResult json = parse_json(
+      "{\"id\":4,\"type\":\"tune\",\"family\":\"mem_ctrl\",\"size\":32,"
+      "\"deadline_s\":90.5,\"samples\":8,\"seed\":11,\"batch\":16,"
+      "\"spot\":true}");
+  ASSERT_TRUE(json.ok) << json.error;
+  const ParsedRequest parsed = parse_request(json.value);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.request.type, RequestType::kTune);
+  EXPECT_EQ(parsed.request.family, "mem_ctrl");
+  EXPECT_EQ(parsed.request.size, 32);
+  EXPECT_EQ(parsed.request.deadline_seconds, 90.5);
+  EXPECT_EQ(parsed.request.samples, 8);
+  EXPECT_EQ(parsed.request.tune_seed, 11u);
+  EXPECT_EQ(parsed.request.batch, 16);
+  EXPECT_TRUE(parsed.request.spot);
+
+  // Knobs are optional; defaults survive when omitted.
+  const JsonParseResult minimal = parse_json(
+      "{\"id\":5,\"type\":\"tune\",\"family\":\"adder\",\"size\":16,"
+      "\"deadline_s\":60}");
+  ASSERT_TRUE(minimal.ok);
+  const ParsedRequest defaults = parse_request(minimal.value);
+  ASSERT_TRUE(defaults.ok) << defaults.error;
+  EXPECT_EQ(defaults.request.samples, 16);
+  EXPECT_EQ(defaults.request.tune_seed, 1u);
+  EXPECT_EQ(defaults.request.batch, 64);
+}
+
+TEST(SvcProtocolTest, RejectsTuneKnobsOutOfRange) {
+  // samples in [0, 512], batch in [1, 4096], seed a non-negative integer —
+  // each violation is a stable bad_request, never a clamp or a crash.
+  const char* cases[] = {
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":60,\"samples\":-1}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":60,\"samples\":513}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":60,\"samples\":2.5}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":60,\"batch\":0}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":60,\"batch\":4097}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":60,\"seed\":-4}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8,"
+      "\"deadline_s\":0}",
+      "{\"id\":3,\"type\":\"tune\",\"family\":\"adder\",\"size\":8}",
+  };
+  for (const char* text : cases) {
+    const JsonParseResult json = parse_json(text);
+    ASSERT_TRUE(json.ok) << text;
+    const ParsedRequest parsed = parse_request(json.value);
+    EXPECT_FALSE(parsed.ok) << text;
+    EXPECT_STREQ(parsed.code, kErrBadRequest) << text;
+    EXPECT_FALSE(parsed.error.empty()) << text;
+  }
+}
+
 TEST(SvcProtocolTest, ErrorResponseShape) {
   const std::string reply = error_response(9, kErrOverloaded, "queue full");
   const JsonParseResult parsed = parse_json(reply);
@@ -241,6 +334,29 @@ TEST(SvcServiceTest, PredictIsDeterministicPerRequest) {
   const std::string second = service.handle_payload(request);
   EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
   EXPECT_EQ(first, second);
+}
+
+TEST(SvcServiceTest, TuneHappyPathIsDeterministicPerRequest) {
+  ServiceConfig config;
+  config.train_designs = 2;
+  config.train_epochs = 2;
+  Service service(config);
+  service.initialize();
+  const std::string request =
+      "{\"id\":8,\"type\":\"tune\",\"family\":\"adder\",\"size\":16,"
+      "\"deadline_s\":60,\"samples\":2,\"seed\":3,\"batch\":8}";
+  const std::string first = service.handle_payload(request);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+  EXPECT_NE(first.find("\"savings_vs_fixed_usd\""), std::string::npos);
+  EXPECT_NE(first.find("\"joint_at_qor\""), std::string::npos);
+  EXPECT_NE(first.find("\"frontier\""), std::string::npos);
+  // Cached predictions are bit-identical to the miss path, so a repeat of
+  // the same request (now warm) serializes to the same bytes.
+  const std::string second = service.handle_payload(request);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(
+      service.stats().by_type[static_cast<int>(RequestType::kTune)].load(),
+      2u);
 }
 
 TEST(SvcServiceTest, StatsCountByType) {
