@@ -81,8 +81,12 @@ void print_usage(std::FILE* out) {
                "  edacloud_cli fleet-sim [--arrival-rate JOBS_PER_HOUR]\n"
                "                         [--policy fifo|cost|edf] [--seed N]\n"
                "                         [--duration SECONDS]\n"
-               "                         [--mix uniform|skewed|bursty]\n"
+               "                         [--mix uniform|skewed|bursty|\n"
+               "                                diurnal|flash]\n"
                "                         [--spot FRACTION]\n"
+               "                         [--market static|drift|storm]\n"
+               "                         [--market-trace F] [--bid FRACTION]\n"
+               "                         [--market-interval S] [--rebid]\n"
                "                         [--interruption-rate PER_HOUR]\n"
                "                         [--crash-rate PER_HOUR]\n"
                "                         [--boot-fail PROBABILITY]\n"
@@ -401,9 +405,72 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
   const std::string duration = flag_value(args, "--duration");
   if (!duration.empty()) config.duration_seconds = std::atof(duration.c_str());
   const std::string mix = flag_value(args, "--mix");
-  if (!mix.empty()) config.load.mix = sched::mix_by_name(mix);
+  if (!mix.empty()) {
+    try {
+      config.load.mix = sched::mix_by_name(mix);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
   const std::string spot = flag_value(args, "--spot");
   if (!spot.empty()) config.fleet.spot_fraction = std::atof(spot.c_str());
+
+  // Spot-market selection (DESIGN.md §15, docs/MARKETS.md). "static" is
+  // the classic flat model; presets generate seeded price weather;
+  // --market-trace replays a canonical trace file exactly.
+  std::shared_ptr<market::TraceMarket> trace_market;
+  const std::string market_name = flag_value(args, "--market");
+  const std::string market_trace = flag_value(args, "--market-trace");
+  if (!market_name.empty() && !market_trace.empty()) {
+    std::fprintf(stderr,
+                 "error: --market and --market-trace are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  const std::string bid = flag_value(args, "--bid");
+  if (!bid.empty()) {
+    config.fleet.spot_bid_fraction = std::atof(bid.c_str());
+    if (config.fleet.spot_bid_fraction <= 0.0) {
+      std::fprintf(stderr,
+                   "error: --bid wants a positive fraction of on-demand\n");
+      return 2;
+    }
+  }
+  const std::string market_interval = flag_value(args, "--market-interval");
+  if (!market_interval.empty()) {
+    config.market.interval_seconds = std::atof(market_interval.c_str());
+    if (config.market.interval_seconds <= 0.0) {
+      std::fprintf(stderr, "error: --market-interval wants seconds > 0\n");
+      return 2;
+    }
+  }
+  config.market.enabled = has_flag(args, "--rebid");
+  if (!market_name.empty() && market_name != "static") {
+    try {
+      trace_market = market::make_preset_market(market_name, config.seed,
+                                                config.duration_seconds);
+    } catch (const std::invalid_argument&) {
+      std::string known = "static";
+      for (const std::string& preset : market::preset_market_names()) {
+        known += " | " + preset;
+      }
+      std::fprintf(stderr, "error: --market wants %s\n", known.c_str());
+      return 2;
+    }
+  } else if (!market_trace.empty()) {
+    try {
+      trace_market = std::make_shared<market::TraceMarket>(
+          market::load_price_traces(market_trace), config.fleet.spot);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: --market-trace %s\n", e.what());
+      return 2;
+    }
+  }
+  if (trace_market != nullptr) {
+    trace_market->set_planning_bid(config.fleet.spot_bid_fraction);
+    config.fleet.market = trace_market;
+  }
 
   // Fault-injection knobs (see DESIGN.md §10). The event loop stays fully
   // deterministic with any of these enabled.
@@ -515,11 +582,18 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
 
   std::printf(
       "fleet-sim: mix=%s policy=%s rate=%.0f/h duration=%.0fs seed=%llu "
-      "spot=%.0f%%\n",
+      "spot=%.0f%% market=%s%s\n",
       config.load.mix.name.c_str(), policy_name.c_str(),
       config.load.arrival_rate_per_hour, config.duration_seconds,
       static_cast<unsigned long long>(config.seed),
-      config.fleet.spot_fraction * 100.0);
+      config.fleet.spot_fraction * 100.0,
+      trace_market != nullptr ? trace_market->name().c_str() : "static",
+      config.market.enabled ? " rebid=on" : "");
+  if (trace_market != nullptr) {
+    std::printf("fleet-sim: %s, bid %.2fx\n",
+                trace_market->describe().c_str(),
+                config.fleet.spot_bid_fraction);
+  }
   sched::FleetMetrics metrics;
   if (use_sharded) {
     sharded.base = config;
@@ -566,6 +640,10 @@ int cmd_fleet_sim(const std::vector<std::string>& args) {
     metrics.export_to(obs::Registry::global(),
                       {{"policy", policy_name},
                        {"mix", config.load.mix.name}});
+    if (trace_market != nullptr) {
+      market::export_market_gauges(*trace_market, obs::Registry::global(),
+                                   {{"market", trace_market->name()}});
+    }
     if (!obs::Registry::global().write(metrics_path)) return 1;
     std::printf("wrote %s (%zu metrics)\n", metrics_path.c_str(),
                 obs::Registry::global().size());
@@ -1261,11 +1339,14 @@ int cmd_loadgen(const std::vector<std::string>& args) {
   }
   const std::string mix = flag_value(args, "--mix");
   if (!mix.empty()) {
-    if (mix != "predict" && mix != "predict-heavy" && mix != "echo" &&
-        mix != "mixed") {
-      std::fprintf(stderr,
-                   "error: --mix wants predict, predict-heavy, echo or "
-                   "mixed\n");
+    const std::vector<std::string>& known = svc::loadgen_mix_names();
+    if (std::find(known.begin(), known.end(), mix) == known.end()) {
+      std::string names;
+      for (const std::string& name : known) {
+        if (!names.empty()) names += " | ";
+        names += name;
+      }
+      std::fprintf(stderr, "error: --mix wants %s\n", names.c_str());
       return 2;
     }
     config.mix = mix;
@@ -1320,11 +1401,12 @@ int main(int argc, char** argv) {
       {"fleet-sim",
        cmd_fleet_sim,
        {{"--arrival-rate", "--policy", "--seed", "--duration", "--mix",
-         "--spot", "--interruption-rate", "--crash-rate", "--boot-fail",
+         "--spot", "--market", "--market-trace", "--bid", "--market-interval",
+         "--interruption-rate", "--crash-rate", "--boot-fail",
          "--restart", "--checkpoint-interval", "--checkpoint-overhead",
          "--max-attempts", "--threads", "--shards", "--handoff-latency",
          "--lookahead", "--trace", "--metrics"},
-        {"--shard-stats"}}},
+        {"--shard-stats", "--rebid"}}},
       {"predict",
        cmd_predict,
        {{"--job", "--batch", "--cache", "--threads", "--repeat",

@@ -347,6 +347,71 @@ shard_smoke() {
 
 shard_smoke
 
+# Market smoke-run: the dynamic spot-price layer from the CLI side — the
+# same seed must export byte-identical metrics under a moving market with
+# the re-bid policy on (including across shard counts), the static market
+# must stay deterministic, and the market/mix flag vocabulary must be
+# validated loudly (docs/MARKETS.md, DESIGN.md §15).
+market_smoke() {
+  local cli="build/examples/edacloud_cli"
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "${tmp}"' RETURN
+
+  echo "=== market smoke: same-seed byte-identity, static and storm ==="
+  for run in 1 2; do
+    "${cli}" fleet-sim --seed 13 --duration 3600 --spot 0.6 \
+      --metrics "${tmp}/static_m${run}.json" > /dev/null
+    "${cli}" fleet-sim --seed 13 --duration 3600 --spot 0.6 \
+      --market storm --rebid --mix diurnal \
+      --metrics "${tmp}/storm_m${run}.json" > /dev/null
+  done
+  python3 -m json.tool "${tmp}/storm_m1.json" > /dev/null
+  cmp "${tmp}/static_m1.json" "${tmp}/static_m2.json"
+  cmp "${tmp}/storm_m1.json" "${tmp}/storm_m2.json"
+  grep -q 'market' "${tmp}/storm_m1.json" || {
+    echo "market smoke: no market.* gauges in storm metrics" >&2
+    return 1
+  }
+
+  echo "=== market smoke: storm shards-1-vs-8 byte-identity ==="
+  local storm_flags=(--seed 13 --duration 3600 --spot 0.6 --market storm
+    --rebid --mix flash --handoff-latency 2)
+  "${cli}" fleet-sim "${storm_flags[@]}" --shards 1 --threads 1 \
+    --metrics "${tmp}/storm_s1.json" > /dev/null
+  "${cli}" fleet-sim "${storm_flags[@]}" --shards 8 --threads 1 \
+    --metrics "${tmp}/storm_s8.json" > /dev/null
+  "${cli}" fleet-sim "${storm_flags[@]}" --shards 8 --threads 4 \
+    --metrics "${tmp}/storm_s8t4.json" > /dev/null
+  cmp "${tmp}/storm_s1.json" "${tmp}/storm_s8.json"
+  cmp "${tmp}/storm_s1.json" "${tmp}/storm_s8t4.json"
+
+  echo "=== market smoke: flag validation ==="
+  "${cli}" fleet-sim --market hurricane > /dev/null 2>&1 && {
+    echo "market smoke: unknown --market exited 0" >&2
+    return 1
+  }
+  "${cli}" fleet-sim --mix lumpy > /dev/null 2>&1 && {
+    echo "market smoke: unknown --mix exited 0" >&2
+    return 1
+  }
+  "${cli}" fleet-sim --bid -1 > /dev/null 2>&1 && {
+    echo "market smoke: negative --bid exited 0" >&2
+    return 1
+  }
+  "${cli}" fleet-sim --market storm --market-trace /dev/null \
+    > /dev/null 2>&1 && {
+    echo "market smoke: --market plus --market-trace exited 0" >&2
+    return 1
+  }
+  "${cli}" loadgen --mix junk --port 1 > /dev/null 2>&1 && {
+    echo "market smoke: unknown loadgen --mix exited 0" >&2
+    return 1
+  }
+}
+
+market_smoke
+
 if [[ "${1:-}" != "--fast" ]]; then
   run_pass "sanitized" build-asan -DEDACLOUD_SANITIZE=ON
 
@@ -358,7 +423,7 @@ if [[ "${1:-}" != "--fast" ]]; then
   cmake --build build-tsan -j
   echo "=== tsan: ctest (concurrency suites) ==="
   (cd build-tsan && ctest --output-on-failure -j "$(nproc)" \
-    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|SvcFuzzTest|MlBatchTest|SchedShardTest|TuneTest|RecipeSpaceTest')
+    -R 'ThreadPool|RouterTest.BitIdentical|StaTest.BitIdentical|MatrixTest.Kernels|TracerTest|SvcServerTest|SvcServerDeterminismTest|SvcLoadgenTest|SvcFuzzTest|MlBatchTest|SchedShardTest|MarketShardTest|TuneTest|RecipeSpaceTest')
 fi
 
 # Per-suite inventory: what tier-1 actually ran, so a vanishing suite (a

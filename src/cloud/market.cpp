@@ -1,0 +1,21 @@
+#include "cloud/market.hpp"
+
+#include <cstdio>
+
+namespace edacloud::cloud {
+
+std::string StaticMarket::describe() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "static market: price %.2fx on-demand, %.3g reclaims/h",
+                spot_.price_multiplier, spot_.interruptions_per_hour);
+  return buffer;
+}
+
+std::shared_ptr<const Market> ensure_market(
+    std::shared_ptr<const Market> market, const SpotModel& spot) {
+  if (market != nullptr) return market;
+  return std::make_shared<StaticMarket>(spot);
+}
+
+}  // namespace edacloud::cloud

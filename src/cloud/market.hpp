@@ -1,0 +1,127 @@
+#pragma once
+// The spot-market seam. Everything that used to read the flat SpotModel
+// struct directly — fleet billing, reclaim hazards, MCKP planning — now
+// talks to this interface, so a time-varying price trace (market::
+// TraceMarket) and the classic flat model (StaticMarket below) are
+// interchangeable. Prices are quoted as a *fraction of the on-demand rate*
+// for the same (family, vCPU) shape, matching SpotModel::price_multiplier.
+//
+// Determinism contract: every method is a pure function of its arguments
+// (plus immutable construction-time state). reclaim_draw may consume RNG
+// draws, but must consume the same number of draws for every call with the
+// same implementation — the simulators arm the reclaim hazard whenever a
+// spot VM starts a task, and the draw discipline ("draws happen whenever
+// their hazard is armed, never conditionally on another draw") is what
+// keeps same-seed runs byte-identical across shard and thread counts.
+
+#include <memory>
+#include <string>
+
+#include "cloud/pricing.hpp"
+#include "perf/vm.hpp"
+#include "util/rng.hpp"
+
+namespace edacloud::cloud {
+
+class Market {
+ public:
+  virtual ~Market() = default;
+
+  /// Short machine name ("static", "trace", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One-line human summary for banners and logs.
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Spot price of a (family, vcpus) shape at sim time `t`, as a fraction
+  /// of its on-demand hourly rate.
+  [[nodiscard]] virtual double price_at(perf::InstanceFamily family,
+                                        int vcpus, double t) const = 0;
+
+  /// Time-weighted mean price over [t0, t1] — the per-second billing rate
+  /// a spot VM alive across that window actually pays. Implementations
+  /// must return price_at(t0) when t1 <= t0.
+  [[nodiscard]] virtual double mean_price(perf::InstanceFamily family,
+                                          int vcpus, double t0,
+                                          double t1) const = 0;
+
+  /// Seconds from `t` until a spot VM of this shape bidding `bid_fraction`
+  /// (of on-demand) is reclaimed; +infinity = never. Price-triggered
+  /// markets return the first instant the price crosses above the bid;
+  /// the static market draws the classic exponential from `rng`.
+  [[nodiscard]] virtual double reclaim_draw(perf::InstanceFamily family,
+                                            int vcpus, double t,
+                                            double bid_fraction,
+                                            util::Rng& rng) const = 0;
+
+  /// Planning summary of one shape: a SpotModel whose price_multiplier is
+  /// the long-run mean price and whose interruptions_per_hour is the
+  /// expected reclaim rate — what the MCKP optimizer and the cost-aware
+  /// policy price expected runtimes with.
+  [[nodiscard]] virtual SpotModel planning_view(perf::InstanceFamily family,
+                                                int vcpus) const = 0;
+
+  /// Market-wide planning summary (averaged over shapes).
+  [[nodiscard]] virtual SpotModel planning_view() const = 0;
+};
+
+/// The pre-market behavior as a Market: a flat price multiplier and a flat
+/// exponential reclaim rate, independent of time and bid. Wrapping a
+/// SpotModel in this adapter reproduces the old fleet numbers bit-for-bit
+/// (same RNG draws, same float operations).
+class StaticMarket final : public Market {
+ public:
+  StaticMarket() = default;
+  explicit StaticMarket(SpotModel spot) : spot_(spot) {}
+
+  [[nodiscard]] std::string name() const override { return "static"; }
+  [[nodiscard]] std::string describe() const override;
+
+  [[nodiscard]] double price_at(perf::InstanceFamily family, int vcpus,
+                                double t) const override {
+    (void)family;
+    (void)vcpus;
+    (void)t;
+    return spot_.price_multiplier;
+  }
+
+  [[nodiscard]] double mean_price(perf::InstanceFamily family, int vcpus,
+                                  double t0, double t1) const override {
+    (void)family;
+    (void)vcpus;
+    (void)t0;
+    (void)t1;
+    return spot_.price_multiplier;
+  }
+
+  [[nodiscard]] double reclaim_draw(perf::InstanceFamily family, int vcpus,
+                                    double t, double bid_fraction,
+                                    util::Rng& rng) const override {
+    (void)family;
+    (void)vcpus;
+    (void)t;
+    (void)bid_fraction;  // the flat model reclaims regardless of the bid
+    return spot_.sample_time_to_interruption(rng);
+  }
+
+  [[nodiscard]] SpotModel planning_view(perf::InstanceFamily family,
+                                        int vcpus) const override {
+    (void)family;
+    (void)vcpus;
+    return spot_;
+  }
+
+  [[nodiscard]] SpotModel planning_view() const override { return spot_; }
+
+  [[nodiscard]] const SpotModel& spot() const { return spot_; }
+
+ private:
+  SpotModel spot_;
+};
+
+/// `market` if set, else a StaticMarket wrapping `spot` — the normalization
+/// every consumer of FleetConfig::market applies so a null market means
+/// "the classic flat model" everywhere.
+std::shared_ptr<const Market> ensure_market(
+    std::shared_ptr<const Market> market, const SpotModel& spot);
+
+}  // namespace edacloud::cloud

@@ -18,14 +18,18 @@ std::vector<cloud::MckpStage> DeploymentOptimizer::build_stages(
       item.label = perf::make_vm(family, vcpus).name();
       stage.items.push_back(item);
     }
-    if (spot_.has_value()) {
+    if (market_ != nullptr) {
       for (int i = 0; i < 4; ++i) {
         const int vcpus = perf::kVcpuOptions[static_cast<std::size_t>(i)];
         const double runtime = ladders[static_cast<int>(job)][i];
+        // Each shape prices against the market's planning view for that
+        // shape (a static market returns its wrapped SpotModel, so the
+        // classic flat-spot numbers survive unchanged).
+        const cloud::SpotModel view = market_->planning_view(family, vcpus);
         cloud::MckpItem item;
-        item.time_seconds = spot_->expected_runtime_seconds(runtime);
+        item.time_seconds = view.expected_runtime_seconds(runtime);
         item.cost_usd =
-            catalog_.spot_job_cost_usd(family, vcpus, runtime, *spot_);
+            catalog_.spot_job_cost_usd(family, vcpus, runtime, view);
         item.label = perf::make_vm(family, vcpus).name() + "-spot";
         stage.items.push_back(item);
       }

@@ -5,10 +5,11 @@
 // catalog, and solves for the cheapest deployment under a deadline.
 
 #include <array>
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cloud/market.hpp"
 #include "cloud/mckp.hpp"
 #include "cloud/pricing.hpp"
 #include "cloud/savings.hpp"
@@ -48,9 +49,18 @@ class DeploymentOptimizer {
   /// Offer spot instances alongside on-demand: every stage gets a second
   /// set of items priced at the spot discount with interruption-stretched
   /// expected runtimes. Deadline feasibility then holds in expectation.
-  void enable_spot(cloud::SpotModel spot) { spot_ = spot; }
-  void disable_spot() { spot_.reset(); }
-  [[nodiscard]] bool spot_enabled() const { return spot_.has_value(); }
+  /// The flat-model overload wraps the SpotModel in a cloud::StaticMarket,
+  /// so existing callers keep their exact pre-market numbers.
+  void enable_spot(cloud::SpotModel spot) {
+    market_ = std::make_shared<cloud::StaticMarket>(spot);
+  }
+  /// Price spot items against a (possibly time-varying) market's per-shape
+  /// planning view: long-run mean price and expected reclaim rate.
+  void enable_spot(std::shared_ptr<const cloud::Market> market) {
+    market_ = std::move(market);
+  }
+  void disable_spot() { market_.reset(); }
+  [[nodiscard]] bool spot_enabled() const { return market_ != nullptr; }
 
   /// MCKP stages for the four jobs (items ordered 1,2,4,8 vCPUs).
   [[nodiscard]] std::vector<cloud::MckpStage> build_stages(
@@ -71,7 +81,7 @@ class DeploymentOptimizer {
  private:
   cloud::PricingCatalog catalog_;
   cloud::Objective objective_;
-  std::optional<cloud::SpotModel> spot_;
+  std::shared_ptr<const cloud::Market> market_;
 };
 
 }  // namespace edacloud::core

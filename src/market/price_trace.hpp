@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic time-varying spot-price traces (ROADMAP item 5, DESIGN.md
+// §15). A trace is a piecewise-constant price series per (family, vCPU)
+// shape — price quoted as a fraction of the shape's on-demand hourly rate,
+// matching cloud::SpotModel::price_multiplier — replayable from a canonical
+// text format and generatable from a seed (log-space random-walk drift plus
+// spike regimes). Everything here is a pure function of its inputs: the
+// same seed and config always produce byte-identical traces, which is what
+// lets the fleet simulators keep their cross-shard/thread byte-identity
+// contract under a moving market.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perf/vm.hpp"
+
+namespace edacloud::market {
+
+struct PricePoint {
+  double time = 0.0;   // absolute sim seconds; ascending within a trace
+  double price = 0.0;  // fraction of the on-demand rate, > 0
+};
+
+/// One shape's price series. Piecewise-constant semantics: the price at
+/// time t is the price of the last point at or before t; before the first
+/// point the first price applies, after the last point the last price
+/// holds forever.
+struct PriceTrace {
+  perf::InstanceFamily family = perf::InstanceFamily::kGeneralPurpose;
+  int vcpus = 1;
+  std::vector<PricePoint> points;
+
+  [[nodiscard]] double price_at(double t) const;
+  /// Time-weighted mean price over [t0, t1]; price_at(t0) when t1 <= t0.
+  [[nodiscard]] double mean_over(double t0, double t1) const;
+  /// Mean price over the trace's own span [first.time, last.time].
+  [[nodiscard]] double mean_price() const;
+  /// Seconds from `t` until the price is strictly above `bid` (0 when it
+  /// already is; +infinity when it never crosses).
+  [[nodiscard]] double first_crossing_above(double t, double bid) const;
+  /// Upward crossings of `bid` per hour over the trace span — the expected
+  /// reclaim rate a VM bidding `bid` experiences.
+  [[nodiscard]] double upward_crossings_per_hour(double bid) const;
+  [[nodiscard]] double min_price() const;
+  [[nodiscard]] double max_price() const;
+};
+
+struct PriceTraceSet {
+  std::vector<PriceTrace> traces;  // canonical (family, vcpus) order
+
+  /// The trace for (family, vcpus), or nullptr when the set has none.
+  [[nodiscard]] const PriceTrace* find(perf::InstanceFamily family,
+                                       int vcpus) const;
+};
+
+/// Canonical text format (round-trips through parse_price_traces):
+///
+///   edacloud-price-trace v1
+///   trace <family-name> <vcpus>
+///   <time-seconds> <price-fraction>
+///   ...
+///
+/// family-name is perf::to_string's name ("general" | "memory" |
+/// "compute"); blank lines and '#' comment lines are ignored.
+std::string write_price_traces(const PriceTraceSet& set);
+
+/// Parse the canonical text format. Throws std::invalid_argument on a bad
+/// header, unknown family, non-ascending times or non-positive prices.
+PriceTraceSet parse_price_traces(const std::string& text);
+
+/// Read and parse a trace file. Throws std::invalid_argument (parse error
+/// message includes the path) or std::runtime_error (unreadable file).
+PriceTraceSet load_price_traces(const std::string& path);
+
+/// Seeded synthetic market weather. Each (family, vCPU) shape gets its own
+/// splitmix-derived RNG stream, so the set is a pure function of this
+/// config and adding shapes never perturbs existing ones.
+struct PriceTraceGenConfig {
+  std::uint64_t seed = 1;
+  double duration_seconds = 24.0 * 3600.0;
+  double step_seconds = 300.0;     // one point per step
+  double start_price = 0.35;       // t = 0 price for every shape
+  double drift_sigma = 0.05;       // per-step lognormal drift
+  double floor_price = 0.08;       // drift clamp, keeps prices positive
+  double cap_price = 1.60;         // spot can exceed on-demand in a squeeze
+  double spike_probability = 0.0;  // per-step chance a spike regime starts
+  double spike_factor = 3.0;       // price multiplier while spiking
+  double spike_duration_seconds = 1800.0;
+};
+
+PriceTraceSet generate_price_traces(const PriceTraceGenConfig& config);
+
+}  // namespace edacloud::market

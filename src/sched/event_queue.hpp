@@ -21,6 +21,7 @@ enum class EventType : std::uint8_t {
   kVmCrash,          // the VM vm_id dies mid-run (fault injection)
   kTaskRetry,        // a killed stage's backoff expired; re-enqueue it
   kAutoscalerTick,   // periodic fleet-sizing decision
+  kMarketTick,       // periodic re-bid/migrate re-evaluation of the queue
 };
 
 /// One scheduled occurrence. `job_id` / `vm_id` are meaningful only for

@@ -10,6 +10,10 @@ std::string to_string(const PoolKey& key) {
          std::to_string(key.vcpus) + "vcpu";
 }
 
+Fleet::Fleet(FleetConfig config) : config_(std::move(config)) {
+  config_.market = cloud::ensure_market(config_.market, config_.spot);
+}
+
 int Fleet::launch(const PoolKey& pool, double now, util::Rng& rng, bool warm) {
   VmInstance vm;
   vm.id = static_cast<int>(vms_.size());
@@ -116,7 +120,10 @@ int Fleet::total_alive() const { return total_alive_; }
 
 double Fleet::hourly_rate_usd(const VmInstance& vm) const {
   double rate = config_.catalog.hourly_usd(vm.pool.family, vm.pool.vcpus);
-  if (vm.spot) rate *= config_.spot.price_multiplier;
+  if (vm.spot) {
+    rate *= config_.market->price_at(vm.pool.family, vm.pool.vcpus,
+                                     vm.launch_time);
+  }
   return rate;
 }
 
@@ -125,7 +132,16 @@ double Fleet::total_cost_usd(double now) const {
   for (const auto& vm : vms_) {
     const double end = vm.retire_time >= 0.0 ? vm.retire_time : now;
     const double billed = std::ceil(std::max(0.0, end - vm.launch_time));
-    total += hourly_rate_usd(vm) * billed / 3600.0;
+    // Prevailing-price billing: a spot VM pays the market's time-weighted
+    // mean price over its lifetime, not its launch-time multiplier for
+    // life. The static market's mean IS the flat multiplier, so the float
+    // operations below reproduce the pre-market bill bit-for-bit.
+    double rate = config_.catalog.hourly_usd(vm.pool.family, vm.pool.vcpus);
+    if (vm.spot) {
+      rate *= config_.market->mean_price(vm.pool.family, vm.pool.vcpus,
+                                         vm.launch_time, end);
+    }
+    total += rate * billed / 3600.0;
   }
   return total;
 }

@@ -6,10 +6,12 @@
 
 #include <compare>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "cloud/market.hpp"
 #include "cloud/pricing.hpp"
 #include "perf/vm.hpp"
 #include "sched/job.hpp"
@@ -48,11 +50,21 @@ struct FleetConfig {
   double spot_fraction = 0.0;  // probability a launched VM is a spot instance
   cloud::SpotModel spot;
   cloud::PricingCatalog catalog = cloud::PricingCatalog::aws_like();
+  /// The spot market spot VMs bill and get reclaimed against. Null means
+  /// "the classic flat model": consumers normalize it to a StaticMarket
+  /// wrapping `spot` (cloud::ensure_market), which reproduces pre-market
+  /// billing and reclaim draws bit-for-bit.
+  std::shared_ptr<const cloud::Market> market;
+  /// Default bid, as a fraction of the on-demand rate, a spot attempt
+  /// places when its job has not re-bid higher. Price-triggered markets
+  /// reclaim the VM the moment the spot price crosses above the bid; the
+  /// static market ignores bids entirely.
+  double spot_bid_fraction = 0.5;
 };
 
 class Fleet {
  public:
-  explicit Fleet(FleetConfig config) : config_(config) {}
+  explicit Fleet(FleetConfig config);
 
   /// Launch a VM into `pool` at `now`. `warm` skips the boot delay (used to
   /// seed a pre-provisioned fleet at t = 0). Spot assignment is drawn from
@@ -91,10 +103,13 @@ class Fleet {
   [[nodiscard]] int idle_count(const PoolKey& pool) const;
   [[nodiscard]] int total_alive() const;
 
-  /// Hourly rate of one VM, spot discount included.
+  /// Hourly rate of one VM at its launch instant, spot discount included
+  /// (the market's launch-time price; constant for the static market).
   [[nodiscard]] double hourly_rate_usd(const VmInstance& vm) const;
   /// Fleet bill at `now`: every VM pays per second (whole seconds, boot and
-  /// idle time included) from launch until retirement or `now`.
+  /// idle time included) from launch until retirement or `now`. Spot VMs
+  /// bill at the market's time-weighted mean price over their lifetime —
+  /// the prevailing per-second price, not the launch-time multiplier.
   [[nodiscard]] double total_cost_usd(double now) const;
   [[nodiscard]] double busy_seconds_total() const;
   [[nodiscard]] double alive_seconds_total(double now) const;

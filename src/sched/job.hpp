@@ -69,6 +69,11 @@ struct Job {
   int stage_kills = 0;          // attempts of the current stage killed
   int stage_evictions = 0;      // spot reclaims of the current stage
   bool require_on_demand = false;  // K-eviction fallback tripped this stage
+  /// Spot bid as a fraction of on-demand; 0 means "use the fleet default".
+  /// Raised by the market policy's re-bid step after evictions and kept
+  /// across stages (NOT reset by advance_stage — a job that learned the
+  /// market is hot stays aggressive for the rest of its flow).
+  double bid = 0.0;
   bool failed = false;          // current stage exhausted its retry budget
   double cost_usd = 0.0;        // billing attributed from its own stage runs
   double first_dispatch_time = -1.0;

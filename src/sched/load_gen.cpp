@@ -1,9 +1,26 @@
 #include "sched/load_gen.hpp"
 
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 namespace edacloud::sched {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// The named-mix provider registry, seeded with the builtins on first use.
+std::map<std::string, TrafficMixFactory>& mix_registry() {
+  static std::map<std::string, TrafficMixFactory> registry = {
+      {"uniform", uniform_mix}, {"skewed", skewed_mix},
+      {"bursty", bursty_mix},   {"diurnal", diurnal_mix},
+      {"flash", flash_mix},
+  };
+  return registry;
+}
+
+}  // namespace
 
 TrafficMix uniform_mix() {
   TrafficMix mix;
@@ -29,11 +46,52 @@ TrafficMix bursty_mix() {
   return mix;
 }
 
+TrafficMix diurnal_mix() {
+  TrafficMix mix;
+  mix.name = "diurnal";
+  mix.weights = {1.0, 1.0, 1.0};
+  mix.sine_amplitude = 0.8;
+  mix.sine_period_seconds = 86400.0;
+  return mix;
+}
+
+TrafficMix flash_mix() {
+  TrafficMix mix;
+  mix.name = "flash";
+  mix.weights = {0.15, 0.35, 0.50};
+  mix.burst_factor = 10.0;
+  mix.burst_period_seconds = 7200.0;
+  mix.burst_duty = 0.05;
+  return mix;
+}
+
+void register_traffic_mix(const std::string& name, TrafficMixFactory factory) {
+  if (name.empty()) throw std::invalid_argument("mix name must not be empty");
+  if (factory == nullptr) {
+    throw std::invalid_argument("mix factory must not be null");
+  }
+  mix_registry()[name] = std::move(factory);
+}
+
+std::vector<std::string> traffic_mix_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, factory] : mix_registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
 TrafficMix mix_by_name(const std::string& name) {
-  if (name == "uniform") return uniform_mix();
-  if (name == "skewed") return skewed_mix();
-  if (name == "bursty") return bursty_mix();
-  throw std::invalid_argument("unknown traffic mix '" + name + "'");
+  const auto& registry = mix_registry();
+  const auto it = registry.find(name);
+  if (it == registry.end()) {
+    std::string known;
+    for (const auto& [mix_name, factory] : registry) {
+      if (!known.empty()) known += " | ";
+      known += mix_name;
+    }
+    throw std::invalid_argument("unknown traffic mix '" + name +
+                                "' (expected " + known + ")");
+  }
+  return it->second();
 }
 
 LoadGenerator::LoadGenerator(LoadConfig config,
@@ -53,22 +111,37 @@ LoadGenerator::LoadGenerator(LoadConfig config,
   if (cumulative <= 0.0) {
     throw std::invalid_argument("traffic mix weights sum to zero");
   }
+  if (config_.mix.sine_amplitude < 0.0 || config_.mix.sine_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "mix sine_amplitude must lie in [0, 1) to keep the rate positive");
+  }
 }
 
 double LoadGenerator::rate_at(double t) const {
   const double base = config_.arrival_rate_per_hour / 3600.0;
   const TrafficMix& mix = config_.mix;
-  if (mix.burst_period_seconds <= 0.0 || mix.burst_factor == 1.0) return base;
-  const double phase = std::fmod(t, mix.burst_period_seconds);
-  const bool bursting = phase < mix.burst_duty * mix.burst_period_seconds;
-  return bursting ? base * mix.burst_factor : base;
+  double rate = base;
+  if (mix.burst_period_seconds > 0.0 && mix.burst_factor != 1.0) {
+    const double phase = std::fmod(t, mix.burst_period_seconds);
+    const bool bursting = phase < mix.burst_duty * mix.burst_period_seconds;
+    if (bursting) rate = base * mix.burst_factor;
+  }
+  if (mix.sine_period_seconds > 0.0 && mix.sine_amplitude > 0.0) {
+    rate *= 1.0 + mix.sine_amplitude *
+                      std::sin(kTwoPi * t / mix.sine_period_seconds);
+  }
+  return rate;
 }
 
 double LoadGenerator::next_arrival_after(double now) {
   // Thinning (Lewis & Shedler): draw candidates at the peak rate and accept
   // with probability rate(t)/peak — exact for any bounded rate function.
   const double base = config_.arrival_rate_per_hour / 3600.0;
-  const double peak = base * std::max(1.0, config_.mix.burst_factor);
+  double peak = base * std::max(1.0, config_.mix.burst_factor);
+  if (config_.mix.sine_period_seconds > 0.0 &&
+      config_.mix.sine_amplitude > 0.0) {
+    peak *= 1.0 + config_.mix.sine_amplitude;
+  }
   if (peak <= 0.0) throw std::invalid_argument("arrival rate must be > 0");
   double t = now;
   while (true) {

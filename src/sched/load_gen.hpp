@@ -5,6 +5,7 @@
 // optionally modulated into bursts by a square-wave rate multiplier.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,14 +14,20 @@
 
 namespace edacloud::sched {
 
-/// A named arrival pattern: per-template draw weights plus an optional
-/// square-wave burst modulation of the arrival rate.
+/// A named arrival pattern: per-template draw weights plus optional
+/// square-wave burst and sinusoidal (diurnal) modulations of the arrival
+/// rate. Both modulations compose multiplicatively.
 struct TrafficMix {
   std::string name = "uniform";
   std::vector<double> weights;        // per template; empty = template weights
   double burst_factor = 1.0;          // rate multiplier inside a burst
   double burst_period_seconds = 0.0;  // 0 = stationary Poisson
   double burst_duty = 0.25;           // fraction of each period bursting
+  /// Sinusoidal modulation: rate *= 1 + amplitude * sin(2*pi*t / period).
+  /// amplitude must lie in [0, 1) so the rate stays positive; 0 (or a
+  /// non-positive period) disables the term entirely.
+  double sine_amplitude = 0.0;
+  double sine_period_seconds = 0.0;
 };
 
 /// Equal draw weights — the balanced design-space-exploration workload.
@@ -29,7 +36,23 @@ TrafficMix uniform_mix();
 TrafficMix skewed_mix();
 /// Uniform weights with 4x rate bursts 25% of the time — tapeout crunch.
 TrafficMix bursty_mix();
-/// Lookup by name ("uniform" | "skewed" | "bursty"); throws on unknown.
+/// Uniform weights under a 24h sine swing (amplitude 0.8) — the classic
+/// business-day load curve.
+TrafficMix diurnal_mix();
+/// Flash crowd: large-job-heavy weights with rare, violent 10x bursts (5%
+/// duty over a 2h period) — a release-day regression stampede.
+TrafficMix flash_mix();
+
+/// The named-mix provider registry. The five builtin mixes ("uniform",
+/// "skewed", "bursty", "diurnal", "flash") are pre-registered; callers may
+/// add their own factories (re-registering a name replaces it). Not
+/// thread-safe: register before simulations start.
+using TrafficMixFactory = std::function<TrafficMix()>;
+void register_traffic_mix(const std::string& name, TrafficMixFactory factory);
+/// Registered mix names, sorted — the vocabulary CLI errors enumerate.
+[[nodiscard]] std::vector<std::string> traffic_mix_names();
+/// Lookup by registered name; throws std::invalid_argument on an unknown
+/// name with a message enumerating every valid one.
 TrafficMix mix_by_name(const std::string& name);
 
 struct LoadConfig {

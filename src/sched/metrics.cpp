@@ -57,6 +57,9 @@ void MetricsCollector::merge_from(const MetricsCollector& other) {
   boot_failures_ += other.boot_failures_;
   retries_ += other.retries_;
   spot_fallbacks_ += other.spot_fallbacks_;
+  market_rebids_ += other.market_rebids_;
+  market_fallbacks_ += other.market_fallbacks_;
+  market_migrations_ += other.market_migrations_;
   slo_violations_ += other.slo_violations_;
   queue_wait_sum_ += other.queue_wait_sum_;
   wasted_seconds_ += other.wasted_seconds_;
@@ -80,6 +83,9 @@ FleetMetrics MetricsCollector::finalize(double arrival_window_seconds,
   m.boot_failures = boot_failures_;
   m.retries = retries_;
   m.spot_fallbacks = spot_fallbacks_;
+  m.market_rebids = market_rebids_;
+  m.market_fallbacks = market_fallbacks_;
+  m.market_migrations = market_migrations_;
   m.wasted_seconds = wasted_seconds_;
   m.checkpoint_overhead_seconds = checkpoint_overhead_seconds_;
   if (fleet.busy_seconds > 0.0) {
@@ -150,6 +156,9 @@ void FleetMetrics::export_to(obs::Registry& registry,
   count("boot_failures", boot_failures);
   count("retries", retries);
   count("spot_fallbacks", spot_fallbacks);
+  count("market_rebids", market_rebids);
+  count("market_fallbacks", market_fallbacks);
+  count("market_migrations", market_migrations);
   count("slo_violations", slo_violations);
   set("wasted_seconds", wasted_seconds);
   set("checkpoint_overhead_seconds", checkpoint_overhead_seconds);
@@ -196,6 +205,16 @@ std::string FleetMetrics::render() const {
     table.add_row({"checkpoint overhead",
                    util::format_duration(checkpoint_overhead_seconds)});
     table.add_row({"goodput", util::format_percent(goodput_fraction, 1)});
+  }
+  if (market_rebids > 0 || market_fallbacks > 0 || market_migrations > 0) {
+    table.add_row({"market re-bids",
+                   util::format_count(static_cast<long long>(market_rebids))});
+    table.add_row(
+        {"market fallbacks",
+         util::format_count(static_cast<long long>(market_fallbacks))});
+    table.add_row(
+        {"market migrations",
+         util::format_count(static_cast<long long>(market_migrations))});
   }
   table.add_row({"latency p50", util::format_duration(latency_p50)});
   table.add_row({"latency p95", util::format_duration(latency_p95)});

@@ -29,6 +29,12 @@ struct FleetMetrics {
   std::uint64_t boot_failures = 0;   // VMs that never came up
   std::uint64_t retries = 0;         // backoff-delayed re-enqueues
   std::uint64_t spot_fallbacks = 0;  // stages degraded to on-demand-only
+
+  // Market policy (see DESIGN.md §15); all zero when --rebid is off.
+  std::uint64_t market_rebids = 0;      // bids raised after an eviction
+  std::uint64_t market_fallbacks = 0;   // queued tasks priced off spot
+  std::uint64_t market_migrations = 0;  // queued tasks moved to cheaper pools
+
   double wasted_seconds = 0.0;       // killed-attempt service time lost
   double checkpoint_overhead_seconds = 0.0;  // snapshot time paid
   /// busy seconds that advanced jobs / all busy seconds; 1.0 when nothing
@@ -78,6 +84,9 @@ class MetricsCollector {
   void record_boot_failure() { ++boot_failures_; }
   void record_retry() { ++retries_; }
   void record_spot_fallback() { ++spot_fallbacks_; }
+  void record_market_rebid() { ++market_rebids_; }
+  void record_market_fallback() { ++market_fallbacks_; }
+  void record_market_migration() { ++market_migrations_; }
   void record_failure() { ++failed_; }
   /// Service seconds a killed attempt burned without advancing the job.
   void record_wasted(double seconds) { wasted_seconds_ += seconds; }
@@ -120,6 +129,9 @@ class MetricsCollector {
   std::uint64_t boot_failures_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t spot_fallbacks_ = 0;
+  std::uint64_t market_rebids_ = 0;
+  std::uint64_t market_fallbacks_ = 0;
+  std::uint64_t market_migrations_ = 0;
   std::uint64_t slo_violations_ = 0;
   double queue_wait_sum_ = 0.0;
   double wasted_seconds_ = 0.0;

@@ -27,11 +27,16 @@ std::size_t FifoAnyPolicy::pick(const std::vector<TaskRef>& queue,
 void CostAwarePolicy::set_fault_context(const FleetConfig& fleet,
                                         const FaultConfig& faults) {
   // The rate a dispatched task actually experiences: machine crashes hit
-  // every VM; spot reclaims hit the spot_fraction share of capacity.
+  // every VM; spot reclaims hit the spot_fraction share of capacity. The
+  // reclaim rate comes from the market's planning view — a static market's
+  // view IS its SpotModel, so flat-spot runs keep their exact numbers.
+  const cloud::SpotModel view = fleet.market != nullptr
+                                    ? fleet.market->planning_view()
+                                    : fleet.spot;
   cloud::FaultModel model;
   model.interruptions_per_hour =
       faults.crash_rate_per_hour +
-      fleet.spot_fraction * fleet.spot.interruptions_per_hour;
+      fleet.spot_fraction * view.interruptions_per_hour;
   if (faults.restart == RestartModel::kCheckpoint) {
     model.checkpoint_interval_seconds = faults.checkpoint_interval_seconds;
     model.checkpoint_overhead_seconds = faults.checkpoint_overhead_seconds;

@@ -37,6 +37,7 @@ enum class ShardEventType : std::uint8_t {
   kVmCrash,          // the VM (pool, vm_id) dies mid-run (fault injection)
   kTaskRetry,        // a killed stage's backoff expired; re-enqueue it
   kPoolTick,         // per-pool autoscaler decision
+  kMarketTick,       // per-pool re-bid/migrate re-evaluation of the queue
 };
 
 /// One pool-local event. All ids are pool-local (each pool owns its own VM

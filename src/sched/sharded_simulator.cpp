@@ -56,7 +56,8 @@ struct ShardedFleetSimulator::PoolRuntime {
         crash_rng(pool_stream_seed(config.base.seed, pool_index, 2)),
         boot_rng(pool_stream_seed(config.base.seed, pool_index, 3)),
         backoff_rng(pool_stream_seed(config.base.seed, pool_index, 4)),
-        queue_counter_name("fleet/queue/" + to_string(key)) {}
+        queue_counter_name("fleet/queue/" + to_string(key)),
+        market_counter_name("market/price/" + to_string(key)) {}
 
   PoolKey key;
   int index;
@@ -73,10 +74,12 @@ struct ShardedFleetSimulator::PoolRuntime {
   util::Rng boot_rng;     // boot-failure coin flips
   util::Rng backoff_rng;  // retry jitter
   bool tick_armed = false;
+  bool market_tick_armed = false;
   int peak_alive = 0;
   MetricsCollector metrics;
   std::vector<obs::TraceEvent> trace_buffer;
   std::string queue_counter_name;
+  std::string market_counter_name;
 };
 
 /// One logical process: an event queue over its pools, the outbox of
@@ -109,6 +112,11 @@ ShardedFleetSimulator::ShardedFleetSimulator(ShardedSimConfig config,
   }
   lookahead_ = config_.lookahead_seconds > 0.0 ? config_.lookahead_seconds
                                                : config_.handoff_latency_seconds;
+  // Normalize the market seam before any pool copies the fleet config: a
+  // null market becomes a StaticMarket over the flat spot model, shared by
+  // every pool (markets are immutable, so sharing is thread-safe).
+  config_.base.fleet.market = cloud::ensure_market(config_.base.fleet.market,
+                                                   config_.base.fleet.spot);
 
   pools_.reserve(ShardTopology::kPoolCount);
   for (int pool = 0; pool < ShardTopology::kPoolCount; ++pool) {
@@ -311,6 +319,9 @@ void ShardedFleetSimulator::run_shard(Shard& shard, double window_end) {
       case ShardEventType::kPoolTick:
         handle_pool_tick(pool, event);
         break;
+      case ShardEventType::kMarketTick:
+        handle_market_tick(pool, event);
+        break;
     }
     pool.peak_alive = std::max(pool.peak_alive, pool.fleet.total_alive());
   }
@@ -359,6 +370,7 @@ void ShardedFleetSimulator::handle_deliver(PoolRuntime& pool,
                                            const ShardEvent& event) {
   enqueue_stage(pool, event.job_id, event.time);
   arm_tick(pool, event.time);
+  arm_market_tick(pool, event.time);
   dispatch(pool, event.time);
 }
 
@@ -386,7 +398,12 @@ void ShardedFleetSimulator::handle_task_complete(Shard& shard,
       std::max(0.0, vm.run_service - vm.run_work));
   double cost = config_.base.fleet.catalog.job_cost_usd(vm.pool.family,
                                                         vm.pool.vcpus, service);
-  if (vm.spot) cost *= config_.base.fleet.spot.price_multiplier;
+  if (vm.spot) {
+    // Prevailing mean spot price over the run window; the static market's
+    // mean is the flat multiplier, bit-for-bit.
+    cost *= config_.base.fleet.market->mean_price(
+        vm.pool.family, vm.pool.vcpus, vm.run_start, event.time);
+  }
   job.cost_usd += cost;
 
   pool.fleet.release(event.vm_id, event.time);
@@ -465,6 +482,19 @@ void ShardedFleetSimulator::handle_attempt_killed(PoolRuntime& pool,
     ++job.preemptions;
     ++job.stage_evictions;
     pool.metrics.record_preemption();
+    // Re-bid: same rule as the unsharded engine — an evicted job raises
+    // its bid (a pure function of the old bid) for all later attempts.
+    if (config_.base.market.enabled) {
+      const double current =
+          std::max(config_.base.fleet.spot_bid_fraction, job.bid);
+      const double raised = std::min(
+          config_.base.market.max_bid_fraction,
+          current * config_.base.market.rebid_multiplier);
+      if (raised > current) {
+        job.bid = raised;
+        pool.metrics.record_market_rebid();
+      }
+    }
   } else {
     pool.metrics.record_crash();
   }
@@ -500,6 +530,7 @@ void ShardedFleetSimulator::handle_task_retry(PoolRuntime& pool,
   if (pool.jobs.find(event.job_id) == pool.jobs.end()) return;  // defensive
   enqueue_stage(pool, event.job_id, event.time);
   arm_tick(pool, event.time);
+  arm_market_tick(pool, event.time);
   dispatch(pool, event.time);
 }
 
@@ -536,6 +567,61 @@ void ShardedFleetSimulator::handle_pool_tick(PoolRuntime& pool,
         {event.time + config_.base.autoscaler.interval_seconds,
          ShardEventType::kPoolTick, pool.index, 0, -1});
     pool.tick_armed = true;
+  }
+}
+
+void ShardedFleetSimulator::handle_market_tick(PoolRuntime& pool,
+                                               const ShardEvent& event) {
+  pool.market_tick_armed = false;
+  const cloud::Market& market = *config_.base.fleet.market;
+  Shard& shard = shard_of(pool);
+
+  std::vector<TaskRef> kept;
+  kept.reserve(pool.queue.size());
+  for (TaskRef& task : pool.queue) {
+    Job& job = pool.jobs.at(task.job_id);
+    const MarketDecision decision =
+        market_decide(market, config_.base.fleet, config_.base.market,
+                      templates_[job.template_index], job, pool.key,
+                      event.time);
+    switch (decision.action) {
+      case MarketAction::kKeep:
+        break;
+      case MarketAction::kFallback:
+        job.require_on_demand = true;
+        task.require_on_demand = true;
+        pool.metrics.record_market_fallback();
+        break;
+      case MarketAction::kMigrate: {
+        // Migration is an ordinary stage handoff to the cheaper pool: it
+        // pays the uniform handoff latency through the shard outbox, which
+        // both keeps event times independent of the pool -> shard map and
+        // guarantees barrier-safe delivery. Checkpoint credit rides along
+        // in job.stage_progress.
+        JobHandoff msg;
+        msg.deliver_time = event.time + config_.handoff_latency_seconds;
+        msg.dest_pool = ShardTopology::pool_index(decision.pool);
+        msg.plan = pool.plans.at(task.job_id);
+        msg.plan[job.stage] = decision.pool;
+        msg.job = job;
+        shard.outbox.push_back(std::move(msg));
+        pool.plans.erase(task.job_id);
+        pool.jobs.erase(task.job_id);
+        pool.metrics.record_market_migration();
+        continue;  // leave the task out of the kept queue
+      }
+    }
+    kept.push_back(task);
+  }
+  if (kept.size() != pool.queue.size()) {
+    pool.queue = std::move(kept);
+    note_queue_depth(pool, event.time);
+  }
+  note_market_price(pool, event.time);
+
+  dispatch(pool, event.time);
+  if (!pool.queue.empty()) {
+    arm_market_tick(pool, event.time);
   }
 }
 
@@ -591,8 +677,14 @@ void ShardedFleetSimulator::start_task(PoolRuntime& pool, int vm_id,
   // whenever their hazard is armed, never conditionally on another draw.
   double reclaim_in = kInf;
   if (vm.spot) {
-    reclaim_in =
-        config_.base.fleet.spot.sample_time_to_interruption(pool.spot_rng);
+    // The attempt bids the higher of the fleet default and the job's own
+    // (re-bid-raised) bid. Static markets draw the classic exponential
+    // from the pool's spot stream; trace markets return the first price
+    // crossing above the bid and consume no randomness — either way the
+    // draw discipline is pool-local and shard-count-independent.
+    const double bid = std::max(config_.base.fleet.spot_bid_fraction, job.bid);
+    reclaim_in = config_.base.fleet.market->reclaim_draw(
+        vm.pool.family, vm.pool.vcpus, now, bid, pool.spot_rng);
   }
   double crash_in = kInf;
   if (config_.base.fault.crash_rate_per_hour > 0.0) {
@@ -627,6 +719,32 @@ void ShardedFleetSimulator::arm_tick(PoolRuntime& pool, double now) {
   shard_of(pool).events.push(
       {next, ShardEventType::kPoolTick, pool.index, 0, -1});
   pool.tick_armed = true;
+}
+
+void ShardedFleetSimulator::arm_market_tick(PoolRuntime& pool, double now) {
+  if (!config_.base.market.enabled || pool.market_tick_armed) return;
+  const double interval = config_.base.market.interval_seconds;
+  // Like arm_tick: market ticks land on interval multiples strictly after
+  // `now` — a pure function of (now, interval), identical at every shard
+  // count.
+  double next = (std::floor(now / interval) + 1.0) * interval;
+  if (next <= now) next += interval;
+  shard_of(pool).events.push(
+      {next, ShardEventType::kMarketTick, pool.index, 0, -1});
+  pool.market_tick_armed = true;
+}
+
+void ShardedFleetSimulator::note_market_price(PoolRuntime& pool, double now) {
+  if (!tracing_) return;
+  obs::TraceEvent event;
+  event.name = pool.market_counter_name;
+  event.phase = 'C';
+  event.ts_us = now * 1e6;
+  event.tid = 0;
+  event.args.push_back(
+      {"value", config_.base.fleet.market->price_at(pool.key.family,
+                                                    pool.key.vcpus, now)});
+  pool.trace_buffer.push_back(std::move(event));
 }
 
 void ShardedFleetSimulator::note_queue_depth(PoolRuntime& pool, double now) {

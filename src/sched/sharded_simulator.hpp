@@ -117,13 +117,20 @@ class ShardedFleetSimulator {
                              bool spot_reclaim);
   void handle_task_retry(PoolRuntime& pool, const ShardEvent& event);
   void handle_pool_tick(PoolRuntime& pool, const ShardEvent& event);
+  /// Pool-local market tick: re-evaluate the pool's queued tasks against
+  /// current prices; migrations leave through the shard outbox as ordinary
+  /// JobHandoffs (paying the uniform handoff latency), so event times stay
+  /// independent of the pool -> shard map.
+  void handle_market_tick(PoolRuntime& pool, const ShardEvent& event);
 
   void enqueue_stage(PoolRuntime& pool, std::uint64_t job_id, double now);
   void dispatch(PoolRuntime& pool, double now);
   void start_task(PoolRuntime& pool, int vm_id, const TaskRef& task,
                   double now);
   void arm_tick(PoolRuntime& pool, double now);
+  void arm_market_tick(PoolRuntime& pool, double now);
   void note_queue_depth(PoolRuntime& pool, double now);
+  void note_market_price(PoolRuntime& pool, double now);
   void trace_attempt(PoolRuntime& pool, const Job& job, const VmInstance& vm,
                      int vm_id, double now, bool killed);
 

@@ -58,6 +58,13 @@ FleetSimulator::FleetSimulator(SimConfig config,
   if (config_.fault.max_attempts_per_stage < 1) {
     throw std::invalid_argument("max_attempts_per_stage must be >= 1");
   }
+  // Normalize the market seam once: a null market means "classic flat spot
+  // model", realized as a StaticMarket over config_.fleet.spot. fleet_
+  // already normalized its own copy in its constructor; this keeps the
+  // simulator's reclaim draws and the policy's planning view consistent
+  // with it.
+  config_.fleet.market =
+      cloud::ensure_market(config_.fleet.market, config_.fleet.spot);
   policy_->set_fault_context(config_.fleet, config_.fault);
 }
 
@@ -78,6 +85,9 @@ FleetMetrics FleetSimulator::run() {
   }
   events_.push(config_.autoscaler.interval_seconds,
                EventType::kAutoscalerTick);
+  if (config_.market.enabled) {
+    events_.push(config_.market.interval_seconds, EventType::kMarketTick);
+  }
 
   const double hard_stop =
       config_.drain_limit_seconds > 0.0
@@ -114,6 +124,9 @@ FleetMetrics FleetSimulator::run() {
         break;
       case EventType::kAutoscalerTick:
         handle_autoscaler_tick();
+        break;
+      case EventType::kMarketTick:
+        handle_market_tick();
         break;
     }
     peak_vms_ = std::max(peak_vms_, fleet_.total_alive());
@@ -171,7 +184,12 @@ void FleetSimulator::handle_task_complete(const Event& event) {
       std::max(0.0, vm.run_service - vm.run_work));
   double cost = config_.fleet.catalog.job_cost_usd(vm.pool.family,
                                                    vm.pool.vcpus, service);
-  if (vm.spot) cost *= config_.fleet.spot.price_multiplier;
+  if (vm.spot) {
+    // The attempt pays the prevailing mean spot price over its run window;
+    // the static market's mean is the flat multiplier, bit-for-bit.
+    cost *= config_.fleet.market->mean_price(vm.pool.family, vm.pool.vcpus,
+                                             vm.run_start, now_);
+  }
   job.cost_usd += cost;
 
   fleet_.release(event.vm_id, now_);
@@ -238,6 +256,19 @@ void FleetSimulator::handle_attempt_killed(const Event& event,
     ++job.preemptions;
     ++job.stage_evictions;
     metrics_.record_preemption();
+    // Re-bid: an evicted job raises its bid for all later attempts so a
+    // brief price spike does not keep knocking it off the market.
+    if (config_.market.enabled) {
+      const double current =
+          std::max(config_.fleet.spot_bid_fraction, job.bid);
+      const double raised = std::min(
+          config_.market.max_bid_fraction,
+          current * config_.market.rebid_multiplier);
+      if (raised > current) {
+        job.bid = raised;
+        metrics_.record_market_rebid();
+      }
+    }
   } else {
     metrics_.record_crash();
   }
@@ -318,6 +349,51 @@ void FleetSimulator::handle_autoscaler_tick() {
   }
 }
 
+void FleetSimulator::handle_market_tick() {
+  const cloud::Market& market = *config_.fleet.market;
+  for (TaskRef& task : queue_) {
+    Job& job = jobs_.at(task.job_id);
+    const MarketDecision decision =
+        market_decide(market, config_.fleet, config_.market,
+                      templates_[job.template_index], job, task.preferred,
+                      now_);
+    switch (decision.action) {
+      case MarketAction::kKeep:
+        break;
+      case MarketAction::kFallback:
+        job.require_on_demand = true;
+        task.require_on_demand = true;
+        metrics_.record_market_fallback();
+        break;
+      case MarketAction::kMigrate:
+        task.preferred = decision.pool;
+        plans_.at(job.id)[job.stage] = decision.pool;
+        metrics_.record_market_migration();
+        break;
+    }
+  }
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    for (const perf::InstanceFamily family :
+         {perf::InstanceFamily::kGeneralPurpose,
+          perf::InstanceFamily::kMemoryOptimized,
+          perf::InstanceFamily::kComputeOptimized}) {
+      for (const int vcpus : perf::kVcpuOptions) {
+        tracer.emit_counter(
+            "market/price/" + to_string(PoolKey{family, vcpus}), now_ * 1e6,
+            market.price_at(family, vcpus, now_));
+      }
+    }
+  }
+
+  dispatch();
+  if (arrivals_open_ || in_flight() > 0) {
+    events_.push(now_ + config_.market.interval_seconds,
+                 EventType::kMarketTick);
+  }
+}
+
 void FleetSimulator::enqueue_stage(const Job& job) {
   TaskRef task;
   task.job_id = job.id;
@@ -373,7 +449,13 @@ void FleetSimulator::start_task(int vm_id, const TaskRef& task) {
   // across configurations that share a hazard.
   double reclaim_in = std::numeric_limits<double>::infinity();
   if (vm.spot) {
-    reclaim_in = config_.fleet.spot.sample_time_to_interruption(spot_rng_);
+    // The attempt bids the higher of the fleet default and the job's own
+    // (re-bid-raised) bid. Static markets keep the classic exponential
+    // draw; trace markets return the first price crossing above the bid
+    // and consume no randomness.
+    const double bid = std::max(config_.fleet.spot_bid_fraction, job.bid);
+    reclaim_in = config_.fleet.market->reclaim_draw(
+        vm.pool.family, vm.pool.vcpus, now_, bid, spot_rng_);
   }
   double crash_in = std::numeric_limits<double>::infinity();
   if (config_.fault.crash_rate_per_hour > 0.0) {

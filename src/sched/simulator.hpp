@@ -19,6 +19,7 @@
 #include "sched/fleet.hpp"
 #include "sched/job.hpp"
 #include "sched/load_gen.hpp"
+#include "sched/market_policy.hpp"
 #include "sched/metrics.hpp"
 #include "sched/policy.hpp"
 
@@ -41,6 +42,8 @@ struct SimConfig {
   FleetConfig fleet;
   AutoscalerConfig autoscaler;
   FaultConfig fault;
+  /// Re-bid/migrate market policy; disabled by default (no market ticks).
+  MarketPolicyConfig market;
   /// Pools pre-provisioned (already booted, idle) at t = 0.
   std::vector<std::pair<PoolKey, int>> warm_pools;
 };
@@ -82,6 +85,10 @@ class FleetSimulator {
   void handle_attempt_killed(const Event& event, bool spot_reclaim);
   void handle_task_retry(const Event& event);
   void handle_autoscaler_tick();
+  /// Market tick: re-evaluate every queued task against current spot
+  /// prices (fall back to on-demand / migrate to a cheaper pool) and emit
+  /// market price trace counters. Only scheduled when market.enabled.
+  void handle_market_tick();
 
   void enqueue_stage(const Job& job);
   void dispatch();

@@ -229,6 +229,12 @@ void open_loop(const LoadgenConfig& config, SharedState& shared,
 
 }  // namespace
 
+const std::vector<std::string>& loadgen_mix_names() {
+  static const std::vector<std::string> names = {"predict", "predict-heavy",
+                                                 "echo", "mixed"};
+  return names;
+}
+
 std::string make_request(const LoadgenConfig& config, std::uint64_t id) {
   util::Rng rng = request_rng(config, id);
   const RequestType type = draw_type(config.mix, rng);

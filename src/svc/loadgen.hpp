@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/histogram.hpp"
 
@@ -65,6 +66,11 @@ struct LoadgenReport {
   /// Human-facing table with throughput and the latency ladder.
   [[nodiscard]] std::string render() const;
 };
+
+/// The request mixes make_request understands, in presentation order — the
+/// vocabulary CLI errors enumerate (mirrors sched::traffic_mix_names for
+/// the fleet-simulation seam).
+[[nodiscard]] const std::vector<std::string>& loadgen_mix_names();
 
 /// The request payload for a given id under `mix` — pure function of
 /// (seed, id), exposed for tests.

@@ -262,7 +262,11 @@ TuneResult RecipeTuner::tune(const nl::Aig& design, double deadline_seconds,
   {
     TRACE_SPAN("tune/optimize", "tune");
     core::DeploymentOptimizer optimizer;
-    if (options_.spot) optimizer.enable_spot(cloud::SpotModel{});
+    if (options_.market != nullptr) {
+      optimizer.enable_spot(options_.market);
+    } else if (options_.spot) {
+      optimizer.enable_spot(cloud::SpotModel{});
+    }
     double fixed_area = 0.0;
     for (const auto& eval : result.evaluations) {
       if (eval.key == fixed_key) fixed_area = eval.area_um2;

@@ -46,6 +46,9 @@ struct TunerOptions {
   std::size_t cache_capacity = 4096;
   /// Offer spot tiers in every deployment stage.
   bool spot = false;
+  /// Price those spot tiers against this market's planning view instead of
+  /// the flat default SpotModel (null = flat model; implies spot when set).
+  std::shared_ptr<const cloud::Market> market;
 };
 
 /// One evaluated recipe: real synthesis QoR + predicted runtime ladders.
